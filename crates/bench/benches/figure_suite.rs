@@ -1,0 +1,24 @@
+//! Smoke benchmark of the full figure harness at tiny scale.
+//!
+//! `cargo bench` runs every figure end-to-end (tiny graphs) so regressions in any part
+//! of the pipeline — generation, partitioning, engine, metrics, table writing — show up
+//! as a timing change. The real figure data comes from the `figures` binary at
+//! `small`/`medium` scale; this bench only guards the plumbing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use frogwild_bench::{run_figures, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("figure_suite_tiny");
+    group.sample_size(10);
+    for figure in ["fig2", "fig8"] {
+        group.bench_function(figure, |b| {
+            b.iter(|| black_box(run_figures(&[figure.to_string()], &scale)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

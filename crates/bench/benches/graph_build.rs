@@ -1,0 +1,60 @@
+//! Microbenchmarks for the graph substrate: generation, CSR construction and
+//! traversal throughput on a social-graph-shaped input.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use frogwild_graph::generators::{rmat, twitter_like, RmatParams};
+use frogwild_graph::DiGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const VERTICES: usize = 20_000;
+
+fn base_graph() -> DiGraph {
+    let mut rng = SmallRng::seed_from_u64(42);
+    twitter_like(VERTICES, &mut rng)
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    group.sample_size(10);
+    group.bench_function("rmat_20k_vertices", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            black_box(rmat(VERTICES, RmatParams::default(), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let graph = base_graph();
+    let edges = graph.edge_vec();
+    let mut group = c.benchmark_group("csr_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("from_edges", |b| {
+        b.iter(|| black_box(DiGraph::from_edges(VERTICES, &edges)))
+    });
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let graph = base_graph();
+    let mut group = c.benchmark_group("traversal");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.bench_function("sum_out_neighbors", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in graph.vertices() {
+                for &d in graph.out_neighbors(v) {
+                    acc = acc.wrapping_add(d as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_csr_build, bench_traversal);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Microbenchmarks for the vertex-cut partitioners (ingress cost and the resulting
+//! replication factor drive everything else in the engine).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use frogwild_engine::{
+    GridPartitioner, ObliviousPartitioner, PartitionedGraph, Partitioner, RandomPartitioner,
+};
+use frogwild_graph::generators::twitter_like;
+use frogwild_graph::DiGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const VERTICES: usize = 10_000;
+const MACHINES: usize = 16;
+
+fn graph() -> DiGraph {
+    let mut rng = SmallRng::seed_from_u64(7);
+    twitter_like(VERTICES, &mut rng)
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = graph();
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    let partitioners: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("random", Box::new(RandomPartitioner)),
+        ("grid", Box::new(GridPartitioner)),
+        ("oblivious", Box::new(ObliviousPartitioner)),
+    ];
+    for (name, partitioner) in &partitioners {
+        group.bench_function(format!("assign_{name}"), |b| {
+            b.iter(|| black_box(partitioner.assign(&graph, MACHINES, 3)))
+        });
+    }
+    group.bench_function("build_partitioned_graph_oblivious", |b| {
+        b.iter(|| black_box(PartitionedGraph::build(&graph, MACHINES, &ObliviousPartitioner, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmark of the engine's superstep machinery: full FrogWild runs with
+//! serial and multi-threaded execution, isolating the engine overhead from the
+//! algorithm's accuracy concerns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use frogwild::driver::{partition_graph, run_frogwild_on};
+use frogwild::prelude::*;
+use frogwild_graph::generators::twitter_like;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_superstep(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let graph = twitter_like(10_000, &mut rng);
+    let cluster = ClusterConfig::new(16, 9);
+    let pg = partition_graph(&graph, &cluster);
+    let config = FrogWildConfig {
+        num_walkers: 50_000,
+        iterations: 4,
+        sync_probability: 0.7,
+        ..FrogWildConfig::default()
+    };
+
+    let mut group = c.benchmark_group("engine_superstep");
+    group.sample_size(10);
+    group.bench_function("frogwild_4_supersteps_serial", |b| {
+        b.iter(|| black_box(run_frogwild_on(&pg, &config)))
+    });
+    group.bench_function("frogwild_4_supersteps_parallel", |b| {
+        b.iter(|| {
+            black_box(run_frogwild_on(
+                &pg,
+                &FrogWildConfig {
+                    parallel: true,
+                    ..config
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_superstep);
+criterion_main!(benches);

@@ -1,0 +1,380 @@
+//! `frogwild` — command-line front end for the FrogWild reproduction.
+//!
+//! ```text
+//! USAGE:
+//!     frogwild <COMMAND> [OPTIONS]
+//!
+//! COMMANDS:
+//!     topk       estimate the top-k PageRank vertices of a graph with FrogWild
+//!     autotune   self-tuning top-k: pilot run → walker plan → full run
+//!     pagerank   run the GraphLab-style PageRank baseline on the simulated cluster
+//!     ppr        personalized PageRank from a source vertex (forward push / exact)
+//!     plan       walker-budget planning for a target top-k accuracy
+//!     stats      print basic structural statistics of an edge-list graph
+//!     generate   write a synthetic Twitter-/LiveJournal-shaped graph as an edge list
+//!
+//! COMMON OPTIONS:
+//!     --graph <path>       SNAP-style edge list (whitespace separated, # comments)
+//!     --synthetic <kind>   use a generated graph instead: twitter | livejournal
+//!     --vertices <n>       size of the synthetic graph              [default: 100000]
+//!     --machines <n>       simulated cluster size                   [default: 16]
+//!     --seed <n>           random seed                              [default: 42]
+//!
+//! TOPK OPTIONS:
+//!     --k <n>              how many vertices to report              [default: 100]
+//!     --walkers <n>        number of random walkers                 [default: 800000]
+//!     --iterations <n>     engine supersteps                        [default: 4]
+//!     --ps <p>             mirror synchronization probability       [default: 0.7]
+//!     --parallel           one worker thread per simulated machine
+//!
+//! PAGERANK OPTIONS:
+//!     --iterations <n>     number of iterations                     [default: 2]
+//!     --exact              run to convergence instead
+//!
+//! PPR OPTIONS:
+//!     --source <v>         source vertex id (required)
+//!     --method <m>         push | exact                             [default: push]
+//!     --epsilon <e>        forward-push threshold                   [default: 1e-7]
+//!     --k <n>              how many vertices to report              [default: 20]
+//!
+//! PLAN OPTIONS:
+//!     --k <n>              target top-k size                        [default: 100]
+//!     --vertices <n>       graph size the query will run on         [default: 100000]
+//!     --mass <m>           expected true top-k mass                 [default: 0.1]
+//!     --loss <e>           tolerated captured-mass loss             [default: 0.02]
+//!     --delta <d>          tolerated failure probability            [default: 0.1]
+//!
+//! GENERATE OPTIONS:
+//!     --kind <k>           twitter | livejournal                    [default: twitter]
+//!     --out <path>         output edge-list path (required)
+//! ```
+
+mod args;
+
+use args::Args;
+use frogwild::prelude::*;
+use frogwild_graph::io::{read_edge_list_file, write_edge_list_file, EdgeListOptions};
+use frogwild_graph::stats::{degree_summary, in_degree_tail_exponent, Direction};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "-h" || raw[0] == "help" {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "topk" => cmd_topk(&args),
+        "autotune" => cmd_autotune(&args),
+        "pagerank" => cmd_pagerank(&args),
+        "ppr" => cmd_ppr(&args),
+        "plan" => cmd_plan(&args),
+        "stats" => cmd_stats(&args),
+        "generate" => cmd_generate(&args),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "frogwild — fast top-k PageRank approximation (FrogWild, VLDB 2015 reproduction)\n\n\
+         usage: frogwild <topk|autotune|pagerank|ppr|plan|stats|generate> [options]\n\
+         \n\
+         common:   --graph <edge list> | --synthetic twitter|livejournal [--vertices N]\n\
+         \u{20}          --machines N --seed N\n\
+         topk:     --k N --walkers N --iterations N --ps P [--parallel]\n\
+         autotune: --k N --loss E --delta D --ps P [--pilot-walkers N]\n\
+         pagerank: --iterations N | --exact\n\
+         ppr:      --source V [--method push|exact] [--epsilon E] [--k N]\n\
+         plan:     --k N --vertices N --mass M --loss E --delta D\n\
+         generate: --kind twitter|livejournal --vertices N --out <path>\n\
+         \n\
+         run `cargo doc --open -p frogwild` for the library documentation."
+    );
+}
+
+/// Loads the graph named by `--graph`, or generates one per `--synthetic`.
+fn load_graph(args: &Args) -> Result<DiGraph, String> {
+    let seed: u64 = args.get_parsed("seed", 42, "an integer").map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("graph") {
+        let (graph, _) = read_edge_list_file(path, &EdgeListOptions::default())
+            .map_err(|e| format!("could not load {path}: {e}"))?;
+        eprintln!(
+            "loaded {path}: {} vertices, {} edges",
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        return Ok(graph);
+    }
+    let vertices: usize = args
+        .get_parsed("vertices", 100_000, "an integer")
+        .map_err(|e| e.to_string())?;
+    let kind = args.get("synthetic").unwrap_or("twitter");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = match kind {
+        "twitter" => frogwild_graph::generators::twitter_like(vertices, &mut rng),
+        "livejournal" => frogwild_graph::generators::livejournal_like(vertices, &mut rng),
+        other => return Err(format!("unknown synthetic graph kind {other:?}")),
+    };
+    eprintln!(
+        "generated {kind}-shaped graph: {} vertices, {} edges (seed {seed})",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(graph)
+}
+
+fn cluster(args: &Args) -> Result<ClusterConfig, String> {
+    let machines: usize = args
+        .get_parsed("machines", 16, "an integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_parsed("seed", 42, "an integer").map_err(|e| e.to_string())?;
+    if machines == 0 {
+        return Err("--machines must be at least 1".to_string());
+    }
+    Ok(ClusterConfig::new(machines, seed))
+}
+
+fn cmd_topk(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let cluster = cluster(args)?;
+    let config = FrogWildConfig {
+        num_walkers: args
+            .get_parsed("walkers", 800_000u64, "an integer")
+            .map_err(|e| e.to_string())?,
+        iterations: args
+            .get_parsed("iterations", 4usize, "an integer")
+            .map_err(|e| e.to_string())?,
+        sync_probability: args
+            .get_parsed("ps", 0.7f64, "a probability in (0, 1]")
+            .map_err(|e| e.to_string())?,
+        seed: cluster.seed,
+        parallel: args.has_flag("parallel"),
+        ..FrogWildConfig::default()
+    };
+    config.validate()?;
+    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
+
+    let report = run_frogwild(&graph, &cluster, &config);
+    println!("# algorithm: {}", report.algorithm);
+    println!(
+        "# machines: {}, supersteps: {}, network bytes: {}, simulated time: {:.4}s",
+        cluster.num_machines,
+        report.cost.supersteps,
+        report.cost.network_bytes,
+        report.cost.simulated_total_seconds
+    );
+    println!("rank,vertex,estimated_mass");
+    for (rank, v) in report.top_k(k).into_iter().enumerate() {
+        println!("{},{},{:.8}", rank + 1, v, report.estimate[v as usize]);
+    }
+    Ok(())
+}
+
+fn cmd_pagerank(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let cluster = cluster(args)?;
+    let config = if args.has_flag("exact") {
+        PageRankConfig::exact()
+    } else {
+        PageRankConfig::truncated(
+            args.get_parsed("iterations", 2usize, "an integer")
+                .map_err(|e| e.to_string())?,
+        )
+    };
+    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
+
+    let report = run_graphlab_pr(&graph, &cluster, &config);
+    println!("# algorithm: {}", report.algorithm);
+    println!(
+        "# machines: {}, supersteps: {}, network bytes: {}, simulated time: {:.4}s",
+        cluster.num_machines,
+        report.cost.supersteps,
+        report.cost.network_bytes,
+        report.cost.simulated_total_seconds
+    );
+    println!("rank,vertex,score");
+    for (rank, v) in report.top_k(k).into_iter().enumerate() {
+        println!("{},{},{:.8}", rank + 1, v, report.estimate[v as usize]);
+    }
+    Ok(())
+}
+
+fn cmd_autotune(args: &Args) -> Result<(), String> {
+    use frogwild::autotune::{auto_topk, AutoTuneConfig};
+
+    let graph = load_graph(args)?;
+    let cluster = cluster(args)?;
+    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
+    let config = AutoTuneConfig {
+        k,
+        mass_loss_target: args
+            .get_parsed("loss", 0.05, "a positive number")
+            .map_err(|e| e.to_string())?,
+        failure_probability: args
+            .get_parsed("delta", 0.1, "a probability")
+            .map_err(|e| e.to_string())?,
+        sync_probability: args
+            .get_parsed("ps", 0.7, "a probability in (0, 1]")
+            .map_err(|e| e.to_string())?,
+        pilot_walkers: args
+            .get_parsed("pilot-walkers", 10_000u64, "an integer")
+            .map_err(|e| e.to_string())?,
+        seed: cluster.seed,
+        ..AutoTuneConfig::default()
+    };
+    config.validate()?;
+
+    let report = auto_topk(&graph, &cluster, &config);
+    println!("# pilot: {} ({} bytes)", report.pilot.algorithm, report.pilot.cost.network_bytes);
+    println!(
+        "# plan: estimated top-{k} mass {:.4}, planned {} walkers / {} iterations",
+        report.estimated_topk_mass, report.planned_walkers, report.planned_iterations
+    );
+    println!(
+        "# final run: {} ({} bytes, {:.4}s simulated); pilot overhead {:.1}% of traffic",
+        report.run.algorithm,
+        report.run.cost.network_bytes,
+        report.run.cost.simulated_total_seconds,
+        report.pilot_overhead() * 100.0
+    );
+    println!("rank,vertex,estimated_mass");
+    for (rank, v) in report.run.top_k(k).into_iter().enumerate() {
+        println!("{},{},{:.8}", rank + 1, v, report.run.estimate[v as usize]);
+    }
+    Ok(())
+}
+
+fn cmd_ppr(args: &Args) -> Result<(), String> {
+    use frogwild::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
+
+    let graph = load_graph(args)?;
+    let source: u64 = args
+        .get_parsed("source", u64::MAX, "a vertex id")
+        .map_err(|e| e.to_string())?;
+    if source == u64::MAX {
+        return Err("--source is required for the ppr command".to_string());
+    }
+    if source as usize >= graph.num_vertices() {
+        return Err(format!(
+            "--source {source} is out of range for a graph with {} vertices",
+            graph.num_vertices()
+        ));
+    }
+    let source = source as VertexId;
+    let k: usize = args.get_parsed("k", 20, "an integer").map_err(|e| e.to_string())?;
+    let method = args.get("method").unwrap_or("push");
+
+    let scores = match method {
+        "push" => {
+            let epsilon: f64 = args
+                .get_parsed("epsilon", 1e-7, "a positive number")
+                .map_err(|e| e.to_string())?;
+            let result = forward_push_ppr(&graph, source, 0.15, epsilon);
+            eprintln!(
+                "forward push: {} pushes, residual mass {:.6}",
+                result.pushes,
+                result.residual_mass()
+            );
+            result.estimate
+        }
+        "exact" => {
+            let restart = single_source_restart(graph.num_vertices(), source);
+            let result = personalized_pagerank(&graph, &restart, 0.15, 200, 1e-10);
+            eprintln!(
+                "power iteration: {} iterations, residual {:.3e}",
+                result.iterations, result.residual
+            );
+            result.scores
+        }
+        other => return Err(format!("unknown ppr method {other:?} (expected push or exact)")),
+    };
+
+    println!("# personalized PageRank from vertex {source} ({method})");
+    println!("rank,vertex,ppr");
+    for (rank, v) in top_k(&scores, k).into_iter().enumerate() {
+        println!("{},{},{:.8}", rank + 1, v, scores[v as usize]);
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    use frogwild::confidence::plan_walkers;
+    use frogwild::theory::{recommended_iterations, recommended_walkers};
+
+    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
+    let vertices: usize = args
+        .get_parsed("vertices", 100_000, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mass: f64 = args
+        .get_parsed("mass", 0.1, "a probability")
+        .map_err(|e| e.to_string())?;
+    let loss: f64 = args
+        .get_parsed("loss", 0.02, "a positive number")
+        .map_err(|e| e.to_string())?;
+    let delta: f64 = args
+        .get_parsed("delta", 0.1, "a probability")
+        .map_err(|e| e.to_string())?;
+    if k == 0 || !(0.0..=1.0).contains(&mass) || mass <= 0.0 || loss <= 0.0 || !(0.0..1.0).contains(&delta) || delta <= 0.0 {
+        return Err("plan: k must be positive, mass/delta in (0, 1), loss positive".to_string());
+    }
+
+    let plan = plan_walkers(k, vertices, mass, loss, delta);
+    println!("# walker-budget plan for top-{k} on {vertices} vertices");
+    println!("quantity,value");
+    println!("walkers_theorem1_sampling_term,{}", plan.walkers_for_mass);
+    println!("walkers_per_vertex_frequency_term,{}", plan.walkers_for_frequency);
+    println!("walkers_recommended,{}", plan.recommended);
+    println!("walkers_remark6_scaling,{}", recommended_walkers(k, mass));
+    println!(
+        "iterations_remark6_scaling,{}",
+        recommended_iterations(0.15, mass)
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let out = degree_summary(&graph, Direction::Out);
+    let inn = degree_summary(&graph, Direction::In);
+    println!("vertices,{}", graph.num_vertices());
+    println!("edges,{}", graph.num_edges());
+    println!("dangling_vertices,{}", graph.dangling_vertices().len());
+    println!("out_degree_min,{}", out.min);
+    println!("out_degree_mean,{:.3}", out.mean);
+    println!("out_degree_max,{}", out.max);
+    println!("in_degree_min,{}", inn.min);
+    println!("in_degree_mean,{:.3}", inn.mean);
+    println!("in_degree_max,{}", inn.max);
+    match in_degree_tail_exponent(&graph, 0.05) {
+        Some(theta) => println!("in_degree_tail_exponent,{theta:.3}"),
+        None => println!("in_degree_tail_exponent,n/a"),
+    }
+    println!("memory_bytes,{}", graph.memory_bytes());
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let out = args.require("out").map_err(|e| e.to_string())?.to_string();
+    let graph = load_graph(args)?;
+    write_edge_list_file(&graph, &out).map_err(|e| format!("could not write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}

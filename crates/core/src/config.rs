@@ -1,0 +1,228 @@
+//! Experiment configuration types.
+
+use frogwild_engine::SyncPolicy;
+use serde::{Deserialize, Serialize};
+
+/// The teleportation probability the paper (and the original PageRank paper) uses.
+pub const DEFAULT_TELEPORT: f64 = 0.15;
+
+/// Configuration of a FrogWild run.
+///
+/// The defaults reproduce the paper's headline setting: 800 000 initial walkers, four
+/// iterations, `p_T = 0.15`. `sync_probability` is the paper's `p_s` ∈ {1, 0.7, 0.4, 0.1}
+/// sweep parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrogWildConfig {
+    /// Number of initial random walkers (`N` in the paper). The paper uses 800K for
+    /// both the Twitter and LiveJournal graphs.
+    pub num_walkers: u64,
+    /// Number of engine supersteps the walkers are allowed (`t` in the paper, called
+    /// "iterations" in the evaluation; 3–5 in the experiments, 4 by default).
+    pub iterations: usize,
+    /// Teleportation probability `p_T`; each walker dies with this probability at every
+    /// step, reproducing the uniform jump of the PageRank chain.
+    pub teleport_probability: f64,
+    /// Mirror synchronization probability `p_s` (1.0 = unmodified engine).
+    pub sync_probability: f64,
+    /// Use the binomial per-edge scatter described in the paper's vertex program
+    /// (`x ~ Bin(K(i), 1/(d_out(i) p_s))`). When `false` (the default, matching the
+    /// paper's actual implementation) the surviving walkers are split deterministically
+    /// across the participating replicas and spread uniformly over their local
+    /// out-edges.
+    pub binomial_scatter: bool,
+    /// Seed for walker placement and all engine randomness.
+    pub seed: u64,
+    /// Run the per-machine engine phases on one thread per simulated machine.
+    pub parallel: bool,
+}
+
+impl Default for FrogWildConfig {
+    fn default() -> Self {
+        FrogWildConfig {
+            num_walkers: 800_000,
+            iterations: 4,
+            teleport_probability: DEFAULT_TELEPORT,
+            sync_probability: 1.0,
+            binomial_scatter: false,
+            seed: 0xF209,
+            parallel: false,
+        }
+    }
+}
+
+impl FrogWildConfig {
+    /// The [`SyncPolicy`] this configuration implies (the paper's implementation uses
+    /// the at-least-one-out-edge erasure model).
+    pub fn sync_policy(&self) -> SyncPolicy {
+        SyncPolicy::frogwild(self.sync_probability)
+    }
+
+    /// Validates the configuration, returning a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_walkers == 0 {
+            return Err("num_walkers must be positive".into());
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.teleport_probability) || self.teleport_probability <= 0.0 {
+            return Err(format!(
+                "teleport_probability must be in (0, 1), got {}",
+                self.teleport_probability
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.sync_probability) || self.sync_probability <= 0.0 {
+            return Err(format!(
+                "sync_probability must be in (0, 1], got {}",
+                self.sync_probability
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the baseline GraphLab-style PageRank run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PageRankConfig {
+    /// Maximum number of iterations. The paper compares against "exact" (run to
+    /// convergence), 2-iteration and 1-iteration variants.
+    pub max_iterations: usize,
+    /// Per-vertex convergence tolerance: a vertex stops signalling its neighbours once
+    /// its rank changes by less than this amount (GraphLab's `TOLERANCE` option).
+    pub tolerance: f64,
+    /// Teleportation probability `p_T` (0.15 everywhere in the paper).
+    pub teleport_probability: f64,
+    /// Seed for engine randomness (partitioning-related only; PageRank itself is
+    /// deterministic).
+    pub seed: u64,
+    /// Run the per-machine engine phases on one thread per simulated machine.
+    pub parallel: bool,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            max_iterations: 100,
+            tolerance: 1e-3,
+            teleport_probability: DEFAULT_TELEPORT,
+            seed: 0xF209,
+            parallel: false,
+        }
+    }
+}
+
+impl PageRankConfig {
+    /// The "exact" configuration used as the paper's accuracy reference: run until
+    /// every vertex's rank is stable to within a tight tolerance.
+    pub fn exact() -> Self {
+        PageRankConfig {
+            max_iterations: 100,
+            tolerance: 1e-9,
+            ..PageRankConfig::default()
+        }
+    }
+
+    /// The truncated variant the paper uses as its fast baseline (`iterations` is 1 or
+    /// 2 in the figures).
+    pub fn truncated(iterations: usize) -> Self {
+        PageRankConfig {
+            max_iterations: iterations,
+            tolerance: 0.0,
+            ..PageRankConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.teleport_probability) || self.teleport_probability <= 0.0 {
+            return Err(format!(
+                "teleport_probability must be in (0, 1), got {}",
+                self.teleport_probability
+            ));
+        }
+        if self.tolerance < 0.0 {
+            return Err("tolerance must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frogwild_engine::SyncPolicy;
+
+    #[test]
+    fn defaults_match_paper_headline_setting() {
+        let c = FrogWildConfig::default();
+        assert_eq!(c.num_walkers, 800_000);
+        assert_eq!(c.iterations, 4);
+        assert_eq!(c.teleport_probability, 0.15);
+        assert_eq!(c.sync_probability, 1.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sync_policy_mapping() {
+        let full = FrogWildConfig::default();
+        assert_eq!(full.sync_policy(), SyncPolicy::Full);
+        let partial = FrogWildConfig {
+            sync_probability: 0.4,
+            ..FrogWildConfig::default()
+        };
+        assert_eq!(
+            partial.sync_policy(),
+            SyncPolicy::AtLeastOneOutEdge { ps: 0.4 }
+        );
+    }
+
+    #[test]
+    fn frogwild_validation_rejects_bad_values() {
+        let mut c = FrogWildConfig {
+            num_walkers: 0,
+            ..FrogWildConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.num_walkers = 1;
+        c.iterations = 0;
+        assert!(c.validate().is_err());
+        c.iterations = 1;
+        c.teleport_probability = 0.0;
+        assert!(c.validate().is_err());
+        c.teleport_probability = 1.0;
+        assert!(c.validate().is_err());
+        c.teleport_probability = 0.15;
+        c.sync_probability = 0.0;
+        assert!(c.validate().is_err());
+        c.sync_probability = 1.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pagerank_presets() {
+        let exact = PageRankConfig::exact();
+        assert!(exact.tolerance < 1e-6);
+        assert!(exact.validate().is_ok());
+        let two = PageRankConfig::truncated(2);
+        assert_eq!(two.max_iterations, 2);
+        assert_eq!(two.tolerance, 0.0);
+        assert!(two.validate().is_ok());
+    }
+
+    #[test]
+    fn pagerank_validation() {
+        let mut c = PageRankConfig::default();
+        assert!(c.validate().is_ok());
+        c.max_iterations = 0;
+        assert!(c.validate().is_err());
+        c.max_iterations = 5;
+        c.tolerance = -1.0;
+        assert!(c.validate().is_err());
+        c.tolerance = 0.0;
+        c.teleport_probability = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Small probability-distribution samplers used by the walker programs.
+//!
+//! Only the two distributions the paper needs are implemented — geometric (walker
+//! lifespans) and binomial (per-edge frog counts in the paper's idealised scatter) —
+//! to avoid pulling in an extra dependency for two functions.
+
+use rand::Rng;
+
+/// Samples a geometric random variable counting the number of *failures* before the
+/// first success: `P(X = k) = p (1 - p)^k`, `k = 0, 1, 2, …`.
+///
+/// This is the distribution of a FrogWild walker's lifespan with success probability
+/// `p = p_T` (the walker "succeeds" at dying). Uses inverse-transform sampling.
+///
+/// # Panics
+///
+/// Panics unless `0 < p <= 1`.
+pub fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric parameter must be in (0, 1]");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Samples a binomial random variable `Bin(n, p)`.
+///
+/// For small `n` the sample is the sum of `n` Bernoulli draws; for large `n` with
+/// non-degenerate `p` a normal approximation with continuity correction is used (the
+/// walkers counts involved are large enough that the approximation error is far below
+/// the Monte-Carlo noise of the estimator itself).
+///
+/// # Panics
+///
+/// Panics unless `0 <= p <= 1`.
+pub fn binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "binomial probability must be in [0, 1]");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    let variance = mean * (1.0 - p);
+    if n <= 64 || variance < 25.0 {
+        // Direct simulation: exact and fast enough at this size.
+        let mut count = 0u64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                count += 1;
+            }
+        }
+        count
+    } else {
+        // Normal approximation with continuity correction, clamped to the support.
+        let z = standard_normal(rng);
+        let sample = (mean + z * variance.sqrt() + 0.5).floor();
+        sample.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// A standard normal sample via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Splits `total` items as evenly as possible into `parts` shares and returns the share
+/// with the given `index` (shares `0..total % parts` receive one extra item). This is
+/// the deterministic split the paper's implementation uses to divide surviving frogs
+/// across synchronized mirrors.
+pub fn even_split(total: u64, parts: usize, index: usize) -> u64 {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(index < parts, "share index out of range");
+    let parts = parts as u64;
+    let base = total / parts;
+    let extra = total % parts;
+    base + u64::from((index as u64) < extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let p = 0.15;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| geometric(p, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        let expected = (1.0 - p) / p; // ≈ 5.67
+        assert!((mean - expected).abs() < 0.1, "mean {mean}, expected {expected}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(geometric(1.0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric parameter")]
+    fn geometric_rejects_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = geometric(0.0, &mut rng);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(binomial(10, 1.0, &mut rng), 10);
+    }
+
+    #[test]
+    fn binomial_small_n_mean_and_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20u64;
+        let p = 0.3;
+        let trials = 50_000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let x = binomial(n, p, &mut rng);
+            assert!(x <= n);
+            sum += x;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - n as f64 * p).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_large_n_uses_approximation_sanely() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 100_000u64;
+        let p = 0.4;
+        let trials = 2_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let x = binomial(n, p, &mut rng);
+            assert!(x <= n);
+            sum += x as f64;
+        }
+        let mean = sum / trials as f64;
+        let expected = n as f64 * p;
+        // standard error of the mean ≈ sqrt(np(1-p)/trials) ≈ 3.5
+        assert!((mean - expected).abs() < 20.0, "mean {mean}, expected {expected}");
+    }
+
+    #[test]
+    fn even_split_sums_to_total_and_is_balanced() {
+        for total in [0u64, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 7] {
+                let shares: Vec<u64> = (0..parts).map(|i| even_split(total, parts, i)).collect();
+                assert_eq!(shares.iter().sum::<u64>(), total);
+                let max = *shares.iter().max().unwrap();
+                let min = *shares.iter().min().unwrap();
+                assert!(max - min <= 1, "total {total}, parts {parts}: {shares:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn even_split_rejects_zero_parts() {
+        let _ = even_split(10, 0, 0);
+    }
+}

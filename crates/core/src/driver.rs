@@ -1,0 +1,406 @@
+//! One-call experiment drivers.
+//!
+//! These functions wire together graph partitioning, the engine, and the vertex
+//! programs, and return a [`RunReport`] holding both the PageRank estimate and the cost
+//! metrics (simulated time, network bytes, CPU work) that the paper's figures plot.
+//!
+//! For parameter sweeps that reuse one cluster layout (e.g. sweeping `p_s` at a fixed
+//! machine count), partition once with [`partition_graph`] and call the `*_on` variants.
+
+use frogwild_engine::{
+    ClusterConfig, CostModel, Engine, EngineConfig, InitialActivation, ObliviousPartitioner,
+    PartitionedGraph, RunMetrics, SyncPolicy,
+};
+use frogwild_graph::sparsify::{uniform_sparsify, SparsifyMode};
+use frogwild_graph::{DiGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{FrogWildConfig, PageRankConfig};
+use crate::programs::{FrogWildProgram, PageRankProgram};
+use crate::topk::normalize;
+
+/// Headline cost numbers derived from the engine metrics — one row of the paper's
+/// Figure 1 per run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CostSummary {
+    /// Total simulated wall-clock seconds (Figure 1b / "Total time").
+    pub simulated_total_seconds: f64,
+    /// Mean simulated seconds per superstep (Figure 1a / "Time per iteration").
+    pub simulated_seconds_per_iteration: f64,
+    /// Total simulated CPU seconds summed over machines (Figure 1d / "CPU usage").
+    pub simulated_cpu_seconds: f64,
+    /// Total bytes crossing machine boundaries (Figure 1c / "Network sent").
+    pub network_bytes: u64,
+    /// Total cross-machine messages after combining.
+    pub network_messages: u64,
+    /// Real (host) seconds the simulator spent executing.
+    pub host_seconds: f64,
+    /// Number of supersteps executed.
+    pub supersteps: usize,
+    /// Replication factor of the vertex-cut used.
+    pub replication_factor: f64,
+    /// Mirror synchronizations skipped by partial synchronization.
+    pub skipped_syncs: u64,
+}
+
+impl CostSummary {
+    /// Derives the summary from raw engine metrics under the given cost model.
+    pub fn from_metrics(metrics: &RunMetrics, model: &CostModel) -> Self {
+        CostSummary {
+            simulated_total_seconds: metrics.total_simulated_seconds(),
+            simulated_seconds_per_iteration: metrics.seconds_per_superstep(),
+            simulated_cpu_seconds: metrics.total_cpu_seconds(model),
+            network_bytes: metrics.total_bytes(),
+            network_messages: metrics.total_messages(),
+            host_seconds: metrics.total_host_seconds(),
+            supersteps: metrics.num_supersteps(),
+            replication_factor: metrics.replication_factor,
+            skipped_syncs: metrics.total_skipped_syncs(),
+        }
+    }
+}
+
+/// Result of one algorithm run on the simulated cluster.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Human-readable algorithm label (used in figure legends), e.g.
+    /// `"FrogWild ps=0.4"` or `"GraphLab PR 2 iters"`.
+    pub algorithm: String,
+    /// Normalised per-vertex score estimate (sums to 1 unless the run produced nothing).
+    pub estimate: Vec<f64>,
+    /// Raw per-superstep engine metrics.
+    pub metrics: RunMetrics,
+    /// Derived headline cost numbers.
+    pub cost: CostSummary,
+}
+
+impl RunReport {
+    /// The top-`k` vertices of the estimate.
+    pub fn top_k(&self, k: usize) -> Vec<VertexId> {
+        crate::topk::top_k(&self.estimate, k)
+    }
+}
+
+/// Partitions `graph` over the cluster with the default (oblivious / greedy) ingress,
+/// matching GraphLab's default.
+pub fn partition_graph(graph: &DiGraph, cluster: &ClusterConfig) -> PartitionedGraph {
+    PartitionedGraph::build(graph, cluster.num_machines, &ObliviousPartitioner, cluster.seed)
+}
+
+/// Runs FrogWild on `graph` over a freshly partitioned simulated cluster.
+pub fn run_frogwild(
+    graph: &DiGraph,
+    cluster: &ClusterConfig,
+    config: &FrogWildConfig,
+) -> RunReport {
+    let pg = partition_graph(graph, cluster);
+    run_frogwild_on(&pg, config)
+}
+
+/// Runs FrogWild on an already partitioned graph (reuse the layout across sweeps).
+pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> RunReport {
+    config.validate().expect("invalid FrogWild configuration");
+    let program = FrogWildProgram::new(config);
+    let engine_config = EngineConfig {
+        sync_policy: config.sync_policy(),
+        cost_model: CostModel::default(),
+        max_supersteps: config.iterations,
+        seed: config.seed,
+        parallel: config.parallel,
+    };
+    let cost_model = engine_config.cost_model;
+    let engine = Engine::new(pg, program, engine_config);
+
+    // Walkers are born on uniformly random vertices; each machine creates its own share
+    // locally, so the initial placement costs no network traffic.
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED_F206);
+    let n = pg.num_vertices();
+    let mut birth_counts = vec![0u64; n];
+    for _ in 0..config.num_walkers {
+        birth_counts[rng.gen_range(0..n)] += 1;
+    }
+    let initial: Vec<(VertexId, u64)> = birth_counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(v, &c)| (v as VertexId, c))
+        .collect();
+
+    let output = engine.run(InitialActivation::Messages(initial));
+
+    // Estimator of Definition 5: the fraction of walkers that ended on each vertex.
+    // (`live` is non-zero only if the engine stopped early; counting it keeps the
+    // estimator a distribution in every case.)
+    let mut estimate: Vec<f64> = output
+        .states
+        .iter()
+        .map(|s| (s.stopped + s.live) as f64 / config.num_walkers as f64)
+        .collect();
+    normalize(&mut estimate);
+
+    let cost = CostSummary::from_metrics(&output.metrics, &cost_model);
+    RunReport {
+        algorithm: format!(
+            "FrogWild ps={} iters={} walkers={}",
+            config.sync_probability, config.iterations, config.num_walkers
+        ),
+        estimate,
+        metrics: output.metrics,
+        cost,
+    }
+}
+
+/// Runs the baseline GraphLab-style PageRank on `graph` over a freshly partitioned
+/// simulated cluster.
+pub fn run_graphlab_pr(
+    graph: &DiGraph,
+    cluster: &ClusterConfig,
+    config: &PageRankConfig,
+) -> RunReport {
+    let pg = partition_graph(graph, cluster);
+    run_graphlab_pr_on(&pg, config)
+}
+
+/// Runs the baseline PageRank on an already partitioned graph.
+pub fn run_graphlab_pr_on(pg: &PartitionedGraph, config: &PageRankConfig) -> RunReport {
+    config.validate().expect("invalid PageRank configuration");
+    let program = PageRankProgram::new(config);
+    let engine_config = EngineConfig {
+        sync_policy: SyncPolicy::Full,
+        cost_model: CostModel::default(),
+        max_supersteps: config.max_iterations,
+        seed: config.seed,
+        parallel: config.parallel,
+    };
+    let cost_model = engine_config.cost_model;
+    let engine = Engine::new(pg, program, engine_config);
+    let output = engine.run(InitialActivation::AllVertices);
+
+    let mut estimate: Vec<f64> = output.states.iter().map(|s| s.rank).collect();
+    normalize(&mut estimate);
+
+    let cost = CostSummary::from_metrics(&output.metrics, &cost_model);
+    let label = if config.max_iterations >= 50 {
+        "GraphLab PR exact".to_string()
+    } else {
+        format!("GraphLab PR {} iters", config.max_iterations)
+    };
+    RunReport {
+        algorithm: label,
+        estimate,
+        metrics: output.metrics,
+        cost,
+    }
+}
+
+/// The Figure 5 baseline: uniformly sparsify the graph (keep each edge with probability
+/// `keep_probability`), then run the truncated PageRank on the sparsified graph over
+/// the same cluster. The returned estimate indexes the *original* vertex set, so it can
+/// be scored against the original graph's exact PageRank directly.
+pub fn run_sparsified_pr(
+    graph: &DiGraph,
+    cluster: &ClusterConfig,
+    keep_probability: f64,
+    config: &PageRankConfig,
+) -> RunReport {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5710_51F7);
+    let sparsified = uniform_sparsify(graph, keep_probability, SparsifyMode::KeepAtLeastOne, &mut rng);
+    let mut report = run_graphlab_pr(&sparsified, cluster, config);
+    report.algorithm = format!(
+        "Sparsified PR q={} {} iters",
+        keep_probability, config.max_iterations
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{exact_identification, mass_captured};
+    use crate::reference::exact_pagerank;
+    use frogwild_graph::generators::simple::star;
+    use frogwild_graph::generators::{rmat, RmatParams};
+
+    fn test_graph(n: usize) -> DiGraph {
+        let mut rng = SmallRng::seed_from_u64(1234);
+        rmat(n, RmatParams::default(), &mut rng)
+    }
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig::new(4, 7)
+    }
+
+    #[test]
+    fn frogwild_estimate_is_a_distribution() {
+        let g = test_graph(300);
+        let config = FrogWildConfig {
+            num_walkers: 30_000,
+            iterations: 4,
+            ..FrogWildConfig::default()
+        };
+        let report = run_frogwild(&g, &small_cluster(), &config);
+        let total: f64 = report.estimate.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(report.cost.supersteps, 4);
+        assert!(report.cost.network_bytes > 0);
+        assert!(report.algorithm.contains("FrogWild"));
+    }
+
+    #[test]
+    fn frogwild_finds_the_star_hub() {
+        let g = star(500);
+        let config = FrogWildConfig {
+            num_walkers: 20_000,
+            iterations: 4,
+            ..FrogWildConfig::default()
+        };
+        let report = run_frogwild(&g, &small_cluster(), &config);
+        assert_eq!(report.top_k(1), vec![0]);
+    }
+
+    #[test]
+    fn frogwild_accuracy_against_exact_pagerank() {
+        let g = test_graph(500);
+        let exact = exact_pagerank(&g, 0.15, 100, 1e-10);
+        let config = FrogWildConfig {
+            num_walkers: 100_000,
+            iterations: 5,
+            ..FrogWildConfig::default()
+        };
+        let report = run_frogwild(&g, &small_cluster(), &config);
+        let m = mass_captured(&report.estimate, &exact.scores, 30);
+        assert!(m.normalized() > 0.85, "captured {}", m.normalized());
+    }
+
+    #[test]
+    fn partial_sync_reduces_network_but_keeps_accuracy_reasonable() {
+        let g = test_graph(500);
+        let exact = exact_pagerank(&g, 0.15, 100, 1e-10);
+        let cluster = ClusterConfig::new(8, 3);
+        let pg = partition_graph(&g, &cluster);
+        let base = FrogWildConfig {
+            num_walkers: 100_000,
+            iterations: 4,
+            ..FrogWildConfig::default()
+        };
+        let full = run_frogwild_on(&pg, &base);
+        let partial = run_frogwild_on(
+            &pg,
+            &FrogWildConfig {
+                sync_probability: 0.2,
+                ..base
+            },
+        );
+        assert!(
+            partial.cost.network_bytes < full.cost.network_bytes,
+            "partial {} vs full {}",
+            partial.cost.network_bytes,
+            full.cost.network_bytes
+        );
+        assert!(partial.cost.skipped_syncs > 0);
+        let m = mass_captured(&partial.estimate, &exact.scores, 30);
+        assert!(m.normalized() > 0.7, "captured {}", m.normalized());
+    }
+
+    #[test]
+    fn graphlab_pr_converges_to_exact_pagerank() {
+        let g = test_graph(300);
+        let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
+        let report = run_graphlab_pr(&g, &small_cluster(), &PageRankConfig::exact());
+        let m = mass_captured(&report.estimate, &exact.scores, 30);
+        assert!(m.normalized() > 0.999, "captured {}", m.normalized());
+        let ident = exact_identification(&report.estimate, &exact.scores, 30);
+        assert!(ident > 0.95, "identified {ident}");
+        assert!(report.algorithm.contains("exact"));
+    }
+
+    #[test]
+    fn truncated_pr_is_less_accurate_than_exact() {
+        let g = test_graph(400);
+        let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
+        let cluster = small_cluster();
+        let one = run_graphlab_pr(&g, &cluster, &PageRankConfig::truncated(1));
+        let two = run_graphlab_pr(&g, &cluster, &PageRankConfig::truncated(2));
+        let m1 = mass_captured(&one.estimate, &exact.scores, 30).normalized();
+        let m2 = mass_captured(&two.estimate, &exact.scores, 30).normalized();
+        assert!(m2 >= m1 - 0.02, "2 iters ({m2}) should not be worse than 1 iter ({m1})");
+        assert!(m1 < 0.999, "1 iteration should not be exact");
+        assert_eq!(one.cost.supersteps, 1);
+        assert_eq!(two.cost.supersteps, 2);
+    }
+
+    #[test]
+    fn frogwild_uses_less_network_than_exact_pr() {
+        let g = test_graph(600);
+        let cluster = ClusterConfig::new(8, 5);
+        let pg = partition_graph(&g, &cluster);
+        let fw = run_frogwild_on(
+            &pg,
+            &FrogWildConfig {
+                num_walkers: 50_000,
+                iterations: 4,
+                sync_probability: 0.4,
+                ..FrogWildConfig::default()
+            },
+        );
+        let pr = run_graphlab_pr_on(&pg, &PageRankConfig { max_iterations: 20, tolerance: 1e-9, ..PageRankConfig::default() });
+        assert!(
+            fw.cost.network_bytes < pr.cost.network_bytes,
+            "FrogWild {} bytes vs PR {} bytes",
+            fw.cost.network_bytes,
+            pr.cost.network_bytes
+        );
+        assert!(
+            fw.cost.simulated_total_seconds < pr.cost.simulated_total_seconds,
+            "FrogWild {}s vs PR {}s",
+            fw.cost.simulated_total_seconds,
+            pr.cost.simulated_total_seconds
+        );
+    }
+
+    #[test]
+    fn sparsified_pr_runs_and_scores_against_original_graph() {
+        let g = test_graph(400);
+        let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
+        let report = run_sparsified_pr(&g, &small_cluster(), 0.7, &PageRankConfig::truncated(2));
+        assert_eq!(report.estimate.len(), g.num_vertices());
+        let m = mass_captured(&report.estimate, &exact.scores, 30);
+        assert!(m.normalized() > 0.5, "captured {}", m.normalized());
+        assert!(report.algorithm.contains("Sparsified"));
+    }
+
+    #[test]
+    fn binomial_scatter_variant_also_works() {
+        let g = test_graph(300);
+        let exact = exact_pagerank(&g, 0.15, 100, 1e-10);
+        let config = FrogWildConfig {
+            num_walkers: 60_000,
+            iterations: 4,
+            binomial_scatter: true,
+            sync_probability: 0.7,
+            ..FrogWildConfig::default()
+        };
+        let report = run_frogwild(&g, &small_cluster(), &config);
+        let m = mass_captured(&report.estimate, &exact.scores, 30);
+        assert!(m.normalized() > 0.75, "captured {}", m.normalized());
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let g = test_graph(300);
+        let cluster = small_cluster();
+        let pg = partition_graph(&g, &cluster);
+        let base = FrogWildConfig {
+            num_walkers: 20_000,
+            iterations: 3,
+            sync_probability: 0.4,
+            ..FrogWildConfig::default()
+        };
+        let serial = run_frogwild_on(&pg, &base);
+        let parallel = run_frogwild_on(&pg, &FrogWildConfig { parallel: true, ..base });
+        assert_eq!(serial.estimate, parallel.estimate);
+        assert_eq!(serial.cost.network_bytes, parallel.cost.network_bytes);
+    }
+}

@@ -1,0 +1,108 @@
+//! # frogwild
+//!
+//! A reproduction of **FrogWild! – Fast PageRank Approximations on Graph Engines**
+//! (Mitliagkas, Borokhovich, Dimakis, Caramanis — VLDB 2015) as a Rust library.
+//!
+//! FrogWild estimates the **top-k PageRank vertices** of a directed graph by releasing a
+//! small number of random walkers ("frogs") inside a PowerGraph-style distributed graph
+//! engine, and — crucially — by *partially synchronizing* vertex mirrors: each mirror of
+//! an updated vertex receives the new state only with probability `p_s`, cutting the
+//! engine's network traffic roughly proportionally while provably (Theorem 1) keeping
+//! the captured PageRank mass close to optimal.
+//!
+//! The crate is organised as follows:
+//!
+//! * [`config`] — experiment configuration ([`FrogWildConfig`], [`PageRankConfig`]).
+//! * [`programs`] — the two vertex programs run on the simulated engine: the FrogWild
+//!   walker program and the standard GraphLab-style PageRank.
+//! * [`reference`] — serial reference implementations (exact power iteration, serial
+//!   Monte-Carlo walkers) used as ground truth in tests and accuracy metrics.
+//! * [`metrics`] — the paper's two accuracy metrics, *mass captured* and *exact
+//!   identification*, plus generic top-k utilities ([`topk`]).
+//! * [`theory`] — the paper's analytical bounds (Theorem 1, Theorem 2, Proposition 7)
+//!   as executable functions, so the benchmarks can overlay bound vs measurement.
+//! * [`erasure`] — the Appendix-A edge-erasure models simulated serially, used to
+//!   validate the engine's partial-synchronization behaviour against the theory.
+//! * [`sparsify`] — the uniform-sparsification + PageRank baseline of Figure 5.
+//! * [`montecarlo`] — the complete-path Monte-Carlo estimators of Avrachenkov et al.,
+//!   the prior-work baseline Section 2.4 positions FrogWild against.
+//! * [`ppr`] — personalized PageRank (power iteration, forward push, Monte-Carlo), the
+//!   other prior-work line discussed in Section 2.4.
+//! * [`confidence`] — per-vertex confidence intervals and walker-budget planning on top
+//!   of the Theorem 1 / Remark 6 machinery.
+//! * [`autotune`] — the pilot → plan → run pipeline that turns the planning rules into
+//!   a self-tuning top-k query.
+//! * [`rank_metrics`] — order-sensitive ranking metrics (Kendall τ, footrule, NDCG)
+//!   complementing the paper's two set-level metrics.
+//! * [`driver`] — one-call experiment drivers returning a [`driver::RunReport`] with
+//!   both accuracy and cost metrics; these are what the examples and the benchmark
+//!   harness use.
+//! * [`report`] — tiny CSV/markdown writers for the figure harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use frogwild::prelude::*;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // A small synthetic social graph.
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let graph = frogwild_graph::generators::livejournal_like(2_000, &mut rng);
+//!
+//! // Run FrogWild on a simulated 8-machine cluster.
+//! let config = FrogWildConfig {
+//!     num_walkers: 20_000,
+//!     iterations: 4,
+//!     sync_probability: 0.7,
+//!     ..FrogWildConfig::default()
+//! };
+//! let report = run_frogwild(&graph, &ClusterConfig::new(8, 42), &config);
+//!
+//! // Compare the estimated top-20 against exact PageRank.
+//! let exact = exact_pagerank(&graph, 0.15, 100, 1e-12);
+//! let accuracy = mass_captured(&report.estimate, &exact.scores, 20);
+//! assert!(accuracy.normalized() > 0.6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod autotune;
+pub mod config;
+pub mod confidence;
+pub mod dist;
+pub mod driver;
+pub mod erasure;
+pub mod metrics;
+pub mod montecarlo;
+pub mod ppr;
+pub mod programs;
+pub mod rank_metrics;
+pub mod reference;
+pub mod report;
+pub mod sparsify;
+pub mod theory;
+pub mod topk;
+
+/// Convenient re-exports of the types most users need.
+pub mod prelude {
+    pub use crate::autotune::{auto_topk, AutoTuneConfig, AutoTuneReport};
+    pub use crate::config::{FrogWildConfig, PageRankConfig};
+    pub use crate::confidence::{plan_walkers, wilson_interval, WalkerPlan};
+    pub use crate::driver::{run_frogwild, run_graphlab_pr, run_sparsified_pr, RunReport};
+    pub use crate::metrics::{exact_identification, mass_captured, MassCaptured};
+    pub use crate::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
+    pub use crate::rank_metrics::{kendall_tau_top_k, ndcg_at_k};
+    pub use crate::reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};
+    pub use crate::theory::{intersection_probability_bound, theorem1_epsilon};
+    pub use crate::topk::top_k;
+    pub use frogwild_engine::{ClusterConfig, SyncPolicy};
+    pub use frogwild_graph::{DiGraph, GraphBuilder, VertexId};
+}
+
+pub use config::{FrogWildConfig, PageRankConfig};
+pub use driver::{run_frogwild, run_graphlab_pr, run_sparsified_pr, RunReport};
+pub use metrics::{exact_identification, mass_captured, MassCaptured};
+pub use reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};
+pub use topk::top_k;

@@ -1,0 +1,223 @@
+//! Monte-Carlo PageRank baselines from the prior-work the paper compares against.
+//!
+//! Section 2.4 discusses Avrachenkov et al., *"Monte Carlo methods in PageRank
+//! computation: When one iteration is sufficient"* (SIAM J. Numer. Anal. 2007), which
+//! proposes two estimators the FrogWild estimator should be read against:
+//!
+//! * **End-point sampling** — count only each walker's final position. This is what
+//!   FrogWild computes (and what [`crate::reference::serial_random_walk_pagerank`]
+//!   implements serially).
+//! * **Complete-path sampling** — credit *every* vertex a walker visits, weighted by the
+//!   teleport probability. Each visit is an unbiased sample of the numerator of π, so
+//!   the estimator extracts roughly `1/p_T ≈ 6.7` samples per walker instead of one,
+//!   at the cost of having to observe the whole trajectory (which is exactly what the
+//!   distributed engine cannot do cheaply — the visits happen on different machines).
+//!
+//! The module provides the complete-path estimator with both starting rules studied in
+//! that paper (uniform starts, and the "one walker per node" rule), so the benchmark
+//! ablation can quantify the variance advantage FrogWild gives up by only shipping
+//! end-point counts across the network.
+
+use frogwild_graph::{DiGraph, VertexId};
+use rand::Rng;
+
+use crate::dist;
+
+/// Complete-path Monte-Carlo PageRank with uniform walker starts.
+///
+/// `num_walkers` walkers start at uniformly random vertices; each performs a
+/// `Geometric(p_T)` number of steps truncated at `max_steps` and credits every vertex it
+/// visits (including its start). The estimate for a vertex is its visit count divided by
+/// the total number of visits, which converges to π because the expected number of
+/// visits to `j` per walk is `π(j) / p_T` (the renewal argument of Avrachenkov et al.).
+///
+/// Walkers stranded on a dangling vertex stay put, mirroring the self-loop fix the graph
+/// builders apply.
+pub fn complete_path_pagerank<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    num_walkers: u64,
+    max_steps: usize,
+    teleport_probability: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(
+        teleport_probability > 0.0 && teleport_probability <= 1.0,
+        "teleport probability must be in (0, 1]"
+    );
+    let n = graph.num_vertices();
+    let mut visits = vec![0u64; n];
+    if n == 0 || num_walkers == 0 {
+        return vec![0.0; n];
+    }
+    for _ in 0..num_walkers {
+        let start = rng.gen_range(0..n) as VertexId;
+        walk_and_count(graph, start, max_steps, teleport_probability, rng, &mut visits);
+    }
+    normalize_counts(&visits)
+}
+
+/// Complete-path Monte-Carlo PageRank with the "one walker per node" starting rule
+/// (Avrachenkov et al., Algorithm 4): `walks_per_vertex` walkers are released from
+/// *every* vertex, which removes the start-position sampling noise entirely and is the
+/// variant that paper shows needs only a single pass to rank the top nodes well.
+///
+/// The cost is `Θ(n · walks_per_vertex)` walks — the linear-in-`n` budget FrogWild
+/// explicitly avoids (its walker count is sublinear); the estimator ablation uses this
+/// function to show the accuracy difference that budget buys.
+pub fn walkers_per_vertex_pagerank<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    walks_per_vertex: u32,
+    max_steps: usize,
+    teleport_probability: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(
+        teleport_probability > 0.0 && teleport_probability <= 1.0,
+        "teleport probability must be in (0, 1]"
+    );
+    let n = graph.num_vertices();
+    let mut visits = vec![0u64; n];
+    if n == 0 || walks_per_vertex == 0 {
+        return vec![0.0; n];
+    }
+    for start in graph.vertices() {
+        for _ in 0..walks_per_vertex {
+            walk_and_count(graph, start, max_steps, teleport_probability, rng, &mut visits);
+        }
+    }
+    normalize_counts(&visits)
+}
+
+/// Runs one truncated-geometric walk from `start` and increments the visit tally of
+/// every vertex on the trajectory (including the start).
+fn walk_and_count<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    start: VertexId,
+    max_steps: usize,
+    teleport_probability: f64,
+    rng: &mut R,
+    visits: &mut [u64],
+) {
+    let mut position = start;
+    visits[position as usize] += 1;
+    let lifespan = dist::geometric(teleport_probability, rng).min(max_steps as u64);
+    for _ in 0..lifespan {
+        let neighbors = graph.out_neighbors(position);
+        if neighbors.is_empty() {
+            break;
+        }
+        position = neighbors[rng.gen_range(0..neighbors.len())];
+        visits[position as usize] += 1;
+    }
+}
+
+/// Converts raw visit counts into a probability distribution.
+fn normalize_counts(visits: &[u64]) -> Vec<f64> {
+    let total: u64 = visits.iter().sum();
+    if total == 0 {
+        return vec![0.0; visits.len()];
+    }
+    visits.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mass_captured;
+    use crate::reference::{exact_pagerank, serial_random_walk_pagerank};
+    use frogwild_graph::generators::simple::star;
+    use frogwild_graph::generators::{rmat, RmatParams};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn test_graph(n: usize, seed: u64) -> DiGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        rmat(n, RmatParams::default(), &mut rng)
+    }
+
+    #[test]
+    fn complete_path_estimate_is_a_distribution() {
+        let g = star(50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est = complete_path_pagerank(&g, 5_000, 30, 0.15, &mut rng);
+        let total: f64 = est.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(est.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn complete_path_identifies_heavy_vertices() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = test_graph(400, 11);
+        let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
+        let est = complete_path_pagerank(&g, 40_000, 20, 0.15, &mut rng);
+        let m = mass_captured(&est, &exact.scores, 20);
+        assert!(m.normalized() > 0.9, "captured {}", m.normalized());
+    }
+
+    #[test]
+    fn complete_path_beats_endpoint_sampling_at_equal_walker_count() {
+        // The variance advantage: with a *small* walker budget the complete-path
+        // estimator should capture at least as much top-k mass as end-point sampling,
+        // averaged over several seeds.
+        let g = test_graph(500, 21);
+        let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
+        let walkers = 3_000u64;
+        let mut complete_total = 0.0;
+        let mut endpoint_total = 0.0;
+        for seed in 0..5u64 {
+            let mut rng = SmallRng::seed_from_u64(100 + seed);
+            let complete = complete_path_pagerank(&g, walkers, 20, 0.15, &mut rng);
+            complete_total += mass_captured(&complete, &exact.scores, 20).normalized();
+            let mut rng = SmallRng::seed_from_u64(200 + seed);
+            let endpoint = serial_random_walk_pagerank(&g, walkers, 20, 0.15, &mut rng);
+            endpoint_total += mass_captured(&endpoint, &exact.scores, 20).normalized();
+        }
+        assert!(
+            complete_total >= endpoint_total - 0.05,
+            "complete-path {complete_total} vs end-point {endpoint_total} (5-seed totals)"
+        );
+    }
+
+    #[test]
+    fn walkers_per_vertex_estimate_is_accurate() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = test_graph(300, 31);
+        let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
+        let est = walkers_per_vertex_pagerank(&g, 20, 20, 0.15, &mut rng);
+        let total: f64 = est.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let m = mass_captured(&est, &exact.scores, 20);
+        assert!(m.normalized() > 0.93, "captured {}", m.normalized());
+    }
+
+    #[test]
+    fn zero_walkers_give_zero_vectors() {
+        let g = star(10);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(complete_path_pagerank(&g, 0, 10, 0.15, &mut rng), vec![0.0; 10]);
+        assert_eq!(
+            walkers_per_vertex_pagerank(&g, 0, 10, 0.15, &mut rng),
+            vec![0.0; 10]
+        );
+    }
+
+    #[test]
+    fn dangling_vertices_do_not_lose_walkers() {
+        // Vertex 2 is a sink; walks terminate there but still count their visits.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let est = complete_path_pagerank(&g, 5_000, 10, 0.15, &mut rng);
+        let total: f64 = est.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(est[2] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "teleport probability")]
+    fn rejects_zero_teleport() {
+        let g = star(5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = complete_path_pagerank(&g, 10, 10, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,360 @@
+//! The FrogWild! vertex program (Section 2.2 of the paper).
+//!
+//! Each vertex tracks two counters: `live`, the frogs that arrived in the current
+//! superstep and survived teleportation, and `stopped`, the frogs that died here (their
+//! final positions are the samples from π). During `apply` every incoming frog dies
+//! with probability `p_T`; at the final superstep all arrivals are absorbed. During
+//! `scatter` the surviving frogs are divided across the *participating* (synchronized)
+//! replicas and spread over their locally-owned out-edges — either with the
+//! deterministic split the paper's implementation uses, or with the idealized binomial
+//! draw from the paper's algorithm box.
+
+use frogwild_engine::{ApplyContext, ScatterContext, VertexProgram};
+use frogwild_graph::VertexId;
+use rand::Rng;
+
+use crate::config::FrogWildConfig;
+use crate::dist;
+
+/// Per-vertex walker counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrogState {
+    /// Frogs that arrived in the latest superstep and survived teleportation; they will
+    /// be forwarded by the next scatter phase (`K(i)` in the paper).
+    pub live: u64,
+    /// Frogs that died (teleported or hit the step limit) on this vertex (`c(i)`); the
+    /// estimator is `c(i) / N`.
+    pub stopped: u64,
+}
+
+impl FrogState {
+    /// Every frog currently attributable to this vertex.
+    pub fn total(&self) -> u64 {
+        self.live + self.stopped
+    }
+}
+
+/// The FrogWild vertex program. Construct it from a [`FrogWildConfig`].
+#[derive(Clone, Debug)]
+pub struct FrogWildProgram {
+    /// Walker death probability per step (`p_T`).
+    teleport_probability: f64,
+    /// Number of engine supersteps before every surviving walker is absorbed (`t`).
+    iterations: usize,
+    /// Use the idealized per-edge binomial scatter instead of the deterministic split.
+    binomial_scatter: bool,
+}
+
+impl FrogWildProgram {
+    /// Builds the program from an experiment configuration.
+    pub fn new(config: &FrogWildConfig) -> Self {
+        config.validate().expect("invalid FrogWild configuration");
+        FrogWildProgram {
+            teleport_probability: config.teleport_probability,
+            iterations: config.iterations,
+            binomial_scatter: config.binomial_scatter,
+        }
+    }
+
+    /// The configured number of supersteps.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+impl VertexProgram for FrogWildProgram {
+    type State = FrogState;
+    type Message = u64;
+    type Accum = ();
+
+    fn combine_messages(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn combine_accums(&self, _a: (), _b: ()) {}
+
+    fn apply(
+        &self,
+        ctx: &mut ApplyContext<'_>,
+        _vertex: VertexId,
+        state: &mut FrogState,
+        _accum: Option<()>,
+        message: Option<u64>,
+    ) {
+        let incoming = message.unwrap_or(0);
+        if ctx.superstep + 1 >= self.iterations {
+            // Final superstep: "If t steps have been performed, c(i) ← c(i) + K(i) and halt."
+            state.stopped += incoming;
+            state.live = 0;
+            return;
+        }
+        // Each incoming frog dies (teleports away, i.e. is sampled here) with
+        // probability p_T.
+        let deaths = dist::binomial(incoming, self.teleport_probability, ctx.rng);
+        state.stopped += deaths;
+        state.live = incoming - deaths;
+    }
+
+    fn needs_scatter(&self, _vertex: VertexId, state: &FrogState) -> bool {
+        state.live > 0
+    }
+
+    fn scatter_replica(
+        &self,
+        ctx: &mut ScatterContext<'_>,
+        _vertex: VertexId,
+        state: &FrogState,
+        local_out_neighbors: &[VertexId],
+        emit: &mut dyn FnMut(VertexId, u64),
+    ) {
+        if state.live == 0 || local_out_neighbors.is_empty() {
+            return;
+        }
+        if self.binomial_scatter {
+            // Paper's algorithm box: every out-edge incident to a synchronized replica
+            // draws x ~ Bin(K(i), 1 / (d_out(i) · p_s)). Expectation over the random
+            // synchronization equals K(i), matching a true random walk marginally.
+            let p = 1.0
+                / (ctx.global_out_degree.max(1) as f64 * ctx.sync_probability.max(f64::MIN_POSITIVE));
+            let p = p.min(1.0);
+            for &dst in local_out_neighbors {
+                let x = dist::binomial(state.live, p, ctx.rng);
+                if x > 0 {
+                    emit(dst, x);
+                }
+            }
+        } else {
+            // Paper's implementation: divide K(i) evenly across the participating
+            // replicas, then spread this replica's share uniformly over its local
+            // out-edges, assigning the remainder to randomly chosen edges.
+            let share = dist::even_split(state.live, ctx.num_participating, ctx.replica_rank);
+            if share == 0 {
+                return;
+            }
+            let degree = local_out_neighbors.len() as u64;
+            let per_edge = share / degree;
+            let remainder = (share % degree) as usize;
+            let offset = if remainder > 0 {
+                ctx.rng.gen_range(0..local_out_neighbors.len())
+            } else {
+                0
+            };
+            for (idx, &dst) in local_out_neighbors.iter().enumerate() {
+                let mut amount = per_edge;
+                // The `remainder` edges starting at the random offset get one extra frog.
+                let rotated = (idx + local_out_neighbors.len() - offset) % local_out_neighbors.len();
+                if rotated < remainder {
+                    amount += 1;
+                }
+                if amount > 0 {
+                    emit(dst, amount);
+                }
+            }
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        // live + stopped counters
+        16
+    }
+
+    fn message_bytes(&self) -> usize {
+        // one combined frog count
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frogwild_engine::{ApplyContext, ScatterContext};
+    use frogwild_engine::MachineId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn config(iterations: usize) -> FrogWildConfig {
+        FrogWildConfig {
+            num_walkers: 1000,
+            iterations,
+            ..FrogWildConfig::default()
+        }
+    }
+
+    fn apply_ctx<'a>(superstep: usize, rng: &'a mut SmallRng) -> ApplyContext<'a> {
+        ApplyContext {
+            superstep,
+            num_vertices: 100,
+            out_degree: 5,
+            rng,
+        }
+    }
+
+    #[test]
+    fn apply_conserves_frogs() {
+        let program = FrogWildProgram::new(&config(10));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut state = FrogState::default();
+        let mut ctx = apply_ctx(0, &mut rng);
+        program.apply(&mut ctx, 0, &mut state, None, Some(10_000));
+        assert_eq!(state.total(), 10_000);
+        assert!(state.stopped > 0, "some frogs should die with p_T = 0.15");
+        assert!(state.live > 0, "most frogs should survive");
+    }
+
+    #[test]
+    fn death_rate_matches_teleport_probability() {
+        let program = FrogWildProgram::new(&config(10));
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut total_dead = 0u64;
+        let trials = 200u64;
+        let per_trial = 1_000u64;
+        for i in 0..trials {
+            let mut state = FrogState::default();
+            let mut ctx = apply_ctx((i % 5) as usize, &mut rng);
+            program.apply(&mut ctx, 0, &mut state, None, Some(per_trial));
+            total_dead += state.stopped;
+        }
+        let rate = total_dead as f64 / (trials * per_trial) as f64;
+        assert!((rate - 0.15).abs() < 0.01, "death rate {rate}");
+    }
+
+    #[test]
+    fn final_superstep_absorbs_everything() {
+        let program = FrogWildProgram::new(&config(4));
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut state = FrogState {
+            live: 0,
+            stopped: 7,
+        };
+        let mut ctx = apply_ctx(3, &mut rng); // superstep 3 is the 4th and last
+        program.apply(&mut ctx, 0, &mut state, None, Some(500));
+        assert_eq!(state.live, 0);
+        assert_eq!(state.stopped, 507);
+        assert!(!program.needs_scatter(0, &state));
+    }
+
+    #[test]
+    fn no_message_means_no_change_except_absorption() {
+        let program = FrogWildProgram::new(&config(4));
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut state = FrogState { live: 3, stopped: 2 };
+        let mut ctx = apply_ctx(1, &mut rng);
+        program.apply(&mut ctx, 0, &mut state, None, None);
+        // no arrivals: the previous live frogs have already been forwarded, so live resets
+        assert_eq!(state.live, 0);
+        assert_eq!(state.stopped, 2);
+    }
+
+    fn scatter_ctx<'a>(
+        rank: usize,
+        participating: usize,
+        local_deg: usize,
+        global_deg: u32,
+        ps: f64,
+        rng: &'a mut SmallRng,
+    ) -> ScatterContext<'a> {
+        ScatterContext {
+            superstep: 1,
+            machine: MachineId(0),
+            replica_rank: rank,
+            num_participating: participating,
+            global_out_degree: global_deg,
+            local_out_degree: local_deg,
+            sync_probability: ps,
+            rng,
+        }
+    }
+
+    #[test]
+    fn deterministic_scatter_conserves_share() {
+        let program = FrogWildProgram::new(&config(10));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let state = FrogState {
+            live: 1_003,
+            stopped: 0,
+        };
+        let neighbors: Vec<VertexId> = (10..17).collect();
+        let mut total_sent = 0u64;
+        for rank in 0..3 {
+            let mut ctx = scatter_ctx(rank, 3, neighbors.len(), 21, 1.0, &mut rng);
+            program.scatter_replica(&mut ctx, 0, &state, &neighbors, &mut |_dst, x| {
+                total_sent += x;
+            });
+        }
+        assert_eq!(total_sent, 1_003);
+    }
+
+    #[test]
+    fn deterministic_scatter_spreads_over_local_edges() {
+        let program = FrogWildProgram::new(&config(10));
+        let mut rng = SmallRng::seed_from_u64(8);
+        let state = FrogState {
+            live: 700,
+            stopped: 0,
+        };
+        let neighbors: Vec<VertexId> = (0..7).collect();
+        let mut per_dst = vec![0u64; 7];
+        let mut ctx = scatter_ctx(0, 1, 7, 7, 1.0, &mut rng);
+        program.scatter_replica(&mut ctx, 0, &state, &neighbors, &mut |dst, x| {
+            per_dst[dst as usize] += x;
+        });
+        assert_eq!(per_dst.iter().sum::<u64>(), 700);
+        for &count in &per_dst {
+            assert_eq!(count, 100);
+        }
+    }
+
+    #[test]
+    fn binomial_scatter_preserves_expectation() {
+        let cfg = FrogWildConfig {
+            binomial_scatter: true,
+            ..config(10)
+        };
+        let program = FrogWildProgram::new(&cfg);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let state = FrogState {
+            live: 1_000,
+            stopped: 0,
+        };
+        // A vertex with 10 out-edges split over two replicas of 5 local edges each,
+        // ps = 1: the expected total across both replicas is live (= 1000).
+        let neighbors: Vec<VertexId> = (0..5).collect();
+        let trials = 300;
+        let mut grand_total = 0u64;
+        for _ in 0..trials {
+            for rank in 0..2 {
+                let mut ctx = scatter_ctx(rank, 2, 5, 10, 1.0, &mut rng);
+                program.scatter_replica(&mut ctx, 0, &state, &neighbors, &mut |_d, x| {
+                    grand_total += x;
+                });
+            }
+        }
+        let mean = grand_total as f64 / trials as f64;
+        assert!(
+            (mean - 1_000.0).abs() < 20.0,
+            "expected ~1000 frogs forwarded on average, got {mean}"
+        );
+    }
+
+    #[test]
+    fn scatter_with_no_live_frogs_emits_nothing() {
+        let program = FrogWildProgram::new(&config(4));
+        let mut rng = SmallRng::seed_from_u64(10);
+        let state = FrogState::default();
+        let neighbors: Vec<VertexId> = vec![1, 2];
+        let mut called = false;
+        let mut ctx = scatter_ctx(0, 1, 2, 2, 1.0, &mut rng);
+        program.scatter_replica(&mut ctx, 0, &state, &neighbors, &mut |_d, _x| {
+            called = true;
+        });
+        assert!(!called);
+    }
+
+    #[test]
+    fn message_and_state_sizes() {
+        let program = FrogWildProgram::new(&config(4));
+        assert_eq!(program.state_bytes(), 16);
+        assert_eq!(program.message_bytes(), 8);
+        assert_eq!(program.iterations(), 4);
+    }
+}

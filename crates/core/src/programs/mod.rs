@@ -1,0 +1,14 @@
+//! Vertex programs executed on the simulated engine.
+//!
+//! * [`FrogWildProgram`] — the paper's algorithm: discrete random walkers with
+//!   geometric lifespans, counted where they die, scattered only from synchronized
+//!   replicas.
+//! * [`PageRankProgram`] — the GraphLab-toolkit PageRank the paper compares against:
+//!   pull-style gather over in-edges, dynamic scheduling by tolerance, full mirror
+//!   synchronization every iteration.
+
+mod frogwild_program;
+mod pagerank_program;
+
+pub use frogwild_program::{FrogState, FrogWildProgram};
+pub use pagerank_program::{PageRankProgram, RankState};

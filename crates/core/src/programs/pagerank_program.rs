@@ -1,0 +1,225 @@
+//! The GraphLab-toolkit PageRank vertex program the paper uses as its baseline.
+//!
+//! This follows GraphLab's `pagerank.cpp` conventions so that the 1- and 2-iteration
+//! truncated baselines behave exactly as the paper describes (a single iteration
+//! "actually estimates only the in-degree of a node"):
+//!
+//! * ranks are initialised to 1.0 and left unnormalised (the exact fixed point is
+//!   `n · π`); the driver normalises before computing accuracy metrics;
+//! * gather pulls `rank / out_degree` over in-edges;
+//! * apply sets `rank = p_T + (1 - p_T) · Σ`;
+//! * scatter signals out-neighbours only while the vertex's rank is still changing by
+//!   more than the configured tolerance (GraphLab's dynamic scheduling).
+//!
+//! Every iteration the updated rank must be pushed to all mirrors (the gather of a
+//! neighbouring vertex reads the local cached copy), which is the per-iteration network
+//! cost the paper's Figure 1(c) reports and FrogWild avoids.
+
+use frogwild_engine::{ApplyContext, EdgeDirection, ScatterContext, VertexProgram};
+use frogwild_graph::VertexId;
+
+use crate::config::PageRankConfig;
+
+/// Per-vertex PageRank state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankState {
+    /// Current (unnormalised) rank. GraphLab convention: starts at 1.0, converges to
+    /// `n · π(v)`.
+    pub rank: f64,
+    /// Absolute change of the rank in the last apply; drives dynamic scheduling.
+    pub delta: f64,
+}
+
+impl Default for RankState {
+    fn default() -> Self {
+        RankState {
+            rank: 1.0,
+            delta: f64::INFINITY,
+        }
+    }
+}
+
+/// The baseline PageRank vertex program.
+#[derive(Clone, Debug)]
+pub struct PageRankProgram {
+    teleport_probability: f64,
+    tolerance: f64,
+}
+
+impl PageRankProgram {
+    /// Builds the program from a [`PageRankConfig`].
+    pub fn new(config: &PageRankConfig) -> Self {
+        config.validate().expect("invalid PageRank configuration");
+        PageRankProgram {
+            teleport_probability: config.teleport_probability,
+            tolerance: config.tolerance,
+        }
+    }
+}
+
+impl VertexProgram for PageRankProgram {
+    type State = RankState;
+    /// Scheduling signal; carries no payload (GraphLab signals are empty messages).
+    type Message = ();
+    /// Partial sum of `rank / out_degree` over locally-owned in-edges.
+    type Accum = f64;
+
+    fn combine_messages(&self, _a: (), _b: ()) {}
+
+    fn combine_accums(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn gather_direction(&self) -> EdgeDirection {
+        EdgeDirection::In
+    }
+
+    fn gather_edge(
+        &self,
+        _src: VertexId,
+        _dst: VertexId,
+        src_state: &RankState,
+        _dst_state: &RankState,
+        src_out_degree: u32,
+    ) -> Option<f64> {
+        Some(src_state.rank / src_out_degree.max(1) as f64)
+    }
+
+    fn apply(
+        &self,
+        _ctx: &mut ApplyContext<'_>,
+        _vertex: VertexId,
+        state: &mut RankState,
+        accum: Option<f64>,
+        _message: Option<()>,
+    ) {
+        let gathered = accum.unwrap_or(0.0);
+        let new_rank = self.teleport_probability + (1.0 - self.teleport_probability) * gathered;
+        state.delta = (new_rank - state.rank).abs();
+        state.rank = new_rank;
+    }
+
+    fn needs_scatter(&self, _vertex: VertexId, state: &RankState) -> bool {
+        state.delta > self.tolerance
+    }
+
+    fn scatter_replica(
+        &self,
+        _ctx: &mut ScatterContext<'_>,
+        _vertex: VertexId,
+        _state: &RankState,
+        local_out_neighbors: &[VertexId],
+        emit: &mut dyn FnMut(VertexId, ()),
+    ) {
+        for &dst in local_out_neighbors {
+            emit(dst, ());
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        // the rank value is what travels to mirrors
+        8
+    }
+
+    fn message_bytes(&self) -> usize {
+        // an empty scheduling signal still costs its header; no payload
+        0
+    }
+
+    fn accum_bytes(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn program() -> PageRankProgram {
+        PageRankProgram::new(&PageRankConfig::default())
+    }
+
+    #[test]
+    fn default_state_matches_graphlab_convention() {
+        let s = RankState::default();
+        assert_eq!(s.rank, 1.0);
+        assert!(s.delta.is_infinite());
+    }
+
+    #[test]
+    fn gather_divides_by_out_degree() {
+        let p = program();
+        let src = RankState { rank: 2.0, delta: 0.0 };
+        let dst = RankState::default();
+        assert_eq!(p.gather_edge(0, 1, &src, &dst, 4), Some(0.5));
+        // degree 0 is clamped to avoid division by zero (cannot occur on fixed graphs)
+        assert_eq!(p.gather_edge(0, 1, &src, &dst, 0), Some(2.0));
+    }
+
+    #[test]
+    fn apply_computes_graphlab_update() {
+        let p = program();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut state = RankState::default();
+        let mut ctx = ApplyContext {
+            superstep: 0,
+            num_vertices: 10,
+            out_degree: 2,
+            rng: &mut rng,
+        };
+        p.apply(&mut ctx, 0, &mut state, Some(2.0), None);
+        let expected = 0.15 + 0.85 * 2.0;
+        assert!((state.rank - expected).abs() < 1e-12);
+        assert!((state.delta - (expected - 1.0).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_without_gather_gives_teleport_floor() {
+        let p = program();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut state = RankState::default();
+        let mut ctx = ApplyContext {
+            superstep: 0,
+            num_vertices: 10,
+            out_degree: 2,
+            rng: &mut rng,
+        };
+        p.apply(&mut ctx, 0, &mut state, None, None);
+        assert!((state.rank - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scatter_stops_below_tolerance() {
+        let p = PageRankProgram::new(&PageRankConfig {
+            tolerance: 1e-3,
+            ..PageRankConfig::default()
+        });
+        let converged = RankState {
+            rank: 0.5,
+            delta: 1e-4,
+        };
+        let active = RankState {
+            rank: 0.5,
+            delta: 1e-2,
+        };
+        assert!(!p.needs_scatter(0, &converged));
+        assert!(p.needs_scatter(0, &active));
+    }
+
+    #[test]
+    fn accum_combination_is_addition() {
+        let p = program();
+        assert_eq!(p.combine_accums(0.25, 0.5), 0.75);
+    }
+
+    #[test]
+    fn sizes_for_network_accounting() {
+        let p = program();
+        assert_eq!(p.state_bytes(), 8);
+        assert_eq!(p.message_bytes(), 0);
+        assert_eq!(p.accum_bytes(), 8);
+        assert_eq!(p.gather_direction(), EdgeDirection::In);
+    }
+}

@@ -1,0 +1,125 @@
+//! The uniform-sparsification baseline of Figure 5.
+//!
+//! Section 2.4 discusses a natural alternative to FrogWild: independently delete every
+//! edge with probability `r = 1 - q` and run a couple of standard PageRank iterations
+//! on the thinner graph. The actual sparsifier lives in
+//! [`frogwild_graph::sparsify::uniform_sparsify`]; this module contributes the sweep
+//! configuration used by the figure harness and an analytical helper describing how the
+//! expected work shrinks with `q`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::PageRankConfig;
+
+/// One point of the Figure 5 sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SparsifiedBaselineConfig {
+    /// Probability of keeping each edge (`q = 1 - r` in the paper; the figure uses
+    /// q ∈ {0.4, 0.7, 1}).
+    pub keep_probability: f64,
+    /// PageRank iterations run on the sparsified graph (the paper uses 2: a single
+    /// iteration would only measure in-degree, which is already known at load time).
+    pub iterations: usize,
+}
+
+impl Default for SparsifiedBaselineConfig {
+    fn default() -> Self {
+        SparsifiedBaselineConfig {
+            keep_probability: 0.7,
+            iterations: 2,
+        }
+    }
+}
+
+impl SparsifiedBaselineConfig {
+    /// The PageRank configuration to run on the sparsified graph.
+    pub fn pagerank_config(&self, seed: u64) -> PageRankConfig {
+        PageRankConfig {
+            max_iterations: self.iterations,
+            tolerance: 0.0,
+            seed,
+            ..PageRankConfig::default()
+        }
+    }
+
+    /// The q values Figure 5 sweeps.
+    pub fn paper_sweep() -> Vec<SparsifiedBaselineConfig> {
+        [0.4, 0.7, 1.0]
+            .into_iter()
+            .map(|q| SparsifiedBaselineConfig {
+                keep_probability: q,
+                iterations: 2,
+            })
+            .collect()
+    }
+
+    /// Expected fraction of the full graph's per-iteration edge work that survives
+    /// sparsification (exactly `q`, since each edge is kept independently).
+    pub fn expected_work_fraction(&self) -> f64 {
+        self.keep_probability
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.keep_probability) {
+            return Err(format!(
+                "keep_probability must be in [0, 1], got {}",
+                self.keep_probability
+            ));
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setting() {
+        let c = SparsifiedBaselineConfig::default();
+        assert_eq!(c.iterations, 2);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.expected_work_fraction(), 0.7);
+    }
+
+    #[test]
+    fn paper_sweep_values() {
+        let sweep = SparsifiedBaselineConfig::paper_sweep();
+        let qs: Vec<f64> = sweep.iter().map(|c| c.keep_probability).collect();
+        assert_eq!(qs, vec![0.4, 0.7, 1.0]);
+        assert!(sweep.iter().all(|c| c.iterations == 2));
+        assert!(sweep.iter().all(|c| c.validate().is_ok()));
+    }
+
+    #[test]
+    fn pagerank_config_mapping() {
+        let c = SparsifiedBaselineConfig {
+            keep_probability: 0.4,
+            iterations: 3,
+        };
+        let pr = c.pagerank_config(99);
+        assert_eq!(pr.max_iterations, 3);
+        assert_eq!(pr.tolerance, 0.0);
+        assert_eq!(pr.seed, 99);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(SparsifiedBaselineConfig {
+            keep_probability: 1.5,
+            iterations: 2
+        }
+        .validate()
+        .is_err());
+        assert!(SparsifiedBaselineConfig {
+            keep_probability: 0.5,
+            iterations: 0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Top-k selection utilities.
+
+use frogwild_graph::VertexId;
+
+/// Returns the `k` vertices with the largest scores, sorted by descending score.
+/// Ties are broken by ascending vertex id so results are deterministic.
+///
+/// Runs in `O(n log k)` using a bounded selection, which matters when extracting a
+/// handful of vertices from multi-million-entry score vectors.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<VertexId> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(scores.len());
+    // (score, vertex) min-heap of size k implemented over a Vec with sift operations via
+    // sort for simplicity at small k; for large k fall back to full sort.
+    if k >= scores.len() / 2 {
+        let mut order: Vec<VertexId> = (0..scores.len() as VertexId).collect();
+        order.sort_unstable_by(|&a, &b| compare(scores, a, b));
+        order.truncate(k);
+        return order;
+    }
+    let mut heap: Vec<VertexId> = Vec::with_capacity(k + 1);
+    for v in 0..scores.len() as VertexId {
+        if heap.len() < k {
+            heap.push(v);
+            if heap.len() == k {
+                heap.sort_unstable_by(|&a, &b| compare(scores, a, b));
+            }
+            continue;
+        }
+        // heap is sorted descending; the last element is the current threshold
+        let worst = *heap.last().unwrap();
+        if compare(scores, v, worst) == std::cmp::Ordering::Less {
+            // v beats the current worst: insert in sorted position, drop the worst
+            let pos = heap
+                .binary_search_by(|&x| compare(scores, x, v))
+                .unwrap_or_else(|p| p);
+            heap.insert(pos, v);
+            heap.pop();
+        }
+    }
+    heap
+}
+
+/// Descending-score, ascending-id comparison.
+fn compare(scores: &[f64], a: VertexId, b: VertexId) -> std::cmp::Ordering {
+    scores[b as usize]
+        .partial_cmp(&scores[a as usize])
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.cmp(&b))
+}
+
+/// The total score mass of a set of vertices under `scores`.
+pub fn set_mass(scores: &[f64], set: &[VertexId]) -> f64 {
+    set.iter().map(|&v| scores[v as usize]).sum()
+}
+
+/// Normalizes a non-negative score vector so it sums to one (a probability
+/// distribution). Vectors with zero total mass are returned unchanged.
+pub fn normalize(scores: &mut [f64]) {
+    let total: f64 = scores.iter().sum();
+    if total > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_selects_largest() {
+        let scores = vec![0.1, 0.5, 0.3, 0.05, 0.05];
+        assert_eq!(top_k(&scores, 2), vec![1, 2]);
+        assert_eq!(top_k(&scores, 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_id() {
+        let scores = vec![0.25, 0.25, 0.25, 0.25];
+        assert_eq!(top_k(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_k_larger_than_n() {
+        let scores = vec![0.3, 0.7];
+        assert_eq!(top_k(&scores, 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn top_k_zero_and_empty() {
+        assert!(top_k(&[0.5, 0.5], 0).is_empty());
+        assert!(top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn heap_path_matches_sort_path() {
+        // Construct enough elements that k < n/2 triggers the bounded-heap path, and
+        // compare against the straightforward full sort.
+        let scores: Vec<f64> = (0..500).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+        let k = 25;
+        let fast = top_k(&scores, k);
+        let mut order: Vec<VertexId> = (0..scores.len() as VertexId).collect();
+        order.sort_unstable_by(|&a, &b| compare(&scores, a, b));
+        order.truncate(k);
+        assert_eq!(fast, order);
+    }
+
+    #[test]
+    fn set_mass_sums_scores() {
+        let scores = vec![0.1, 0.2, 0.3, 0.4];
+        assert!((set_mass(&scores, &[1, 3]) - 0.6).abs() < 1e-12);
+        assert_eq!(set_mass(&scores, &[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_makes_distribution() {
+        let mut scores = vec![2.0, 3.0, 5.0];
+        normalize(&mut scores);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((scores[2] - 0.5).abs() < 1e-12);
+        // zero vector unchanged
+        let mut zeros = vec![0.0, 0.0];
+        normalize(&mut zeros);
+        assert_eq!(zeros, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the extension modules: rank metrics, confidence intervals,
+//! personalized PageRank and the complete-path Monte-Carlo estimators.
+
+use frogwild::confidence::{
+    hoeffding_epsilon, normal_cdf, normal_quantile, required_walkers, separation_probability,
+    wilson_interval,
+};
+use frogwild::montecarlo::complete_path_pagerank;
+use frogwild::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
+use frogwild::rank_metrics::{kendall_tau_top_k, ndcg_at_k, precision_at_k_curve, spearman_footrule_top_k};
+use frogwild_graph::generators::{rmat, RmatParams};
+use frogwild_graph::DiGraph;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a non-negative score vector of length 2..60.
+fn arb_scores() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 2..60)
+}
+
+/// Strategy: a small heavy-tailed graph plus an in-range source vertex.
+fn arb_graph_and_source() -> impl Strategy<Value = (DiGraph, u32)> {
+    (30usize..200, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = rmat(n, RmatParams::default(), &mut rng);
+        let source = (seed % graph.num_vertices() as u64) as u32;
+        (graph, source)
+    })
+}
+
+proptest! {
+    // ------------------------------------------------------------- rank metrics
+    #[test]
+    fn rank_metrics_are_bounded_and_maximised_by_truth(
+        truth in arb_scores(),
+        estimate in arb_scores(),
+        k in 2usize..20,
+    ) {
+        let len = truth.len().min(estimate.len());
+        let (truth, estimate) = (&truth[..len], &estimate[..len]);
+
+        let tau = kendall_tau_top_k(estimate, truth, k);
+        prop_assert!((-1.0..=1.0).contains(&tau));
+        prop_assert!((kendall_tau_top_k(truth, truth, k) - 1.0).abs() < 1e-12);
+
+        let footrule = spearman_footrule_top_k(estimate, truth, k);
+        prop_assert!((0.0..=1.0).contains(&footrule));
+        prop_assert!((spearman_footrule_top_k(truth, truth, k) - 1.0).abs() < 1e-12);
+
+        let ndcg = ndcg_at_k(estimate, truth, k);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ndcg));
+        prop_assert!((ndcg_at_k(truth, truth, k) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_curve_entries_match_direct_calls(
+        truth in arb_scores(),
+        estimate in arb_scores(),
+    ) {
+        let len = truth.len().min(estimate.len());
+        let (truth, estimate) = (&truth[..len], &estimate[..len]);
+        let ks = [1usize, 2, 5, 10];
+        let curve = precision_at_k_curve(estimate, truth, &ks);
+        prop_assert_eq!(curve.len(), ks.len());
+        for (i, &k) in ks.iter().enumerate() {
+            prop_assert!((curve[i] - frogwild::metrics::exact_identification(estimate, truth, k)).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&curve[i]));
+        }
+    }
+
+    // ------------------------------------------------------------- confidence
+    #[test]
+    fn hoeffding_and_required_walkers_are_consistent(
+        walkers in 10u64..10_000_000,
+        vertices in 1usize..10_000_000,
+        delta in 0.001f64..0.5,
+    ) {
+        let eps = hoeffding_epsilon(walkers, vertices, delta);
+        prop_assert!(eps > 0.0);
+        if eps < 1.0 {
+            // Planning for the achieved epsilon never asks for more walkers than we had
+            // (up to the integer ceiling).
+            let needed = required_walkers(eps, vertices, delta);
+            prop_assert!(needed <= walkers + 1, "needed {} from {} walkers", needed, walkers);
+        }
+    }
+
+    #[test]
+    fn wilson_interval_contains_the_point_estimate(
+        count in 0u64..10_000,
+        extra in 1u64..10_000,
+        delta in 0.001f64..0.5,
+    ) {
+        let n = count + extra;
+        let interval = wilson_interval(count, n, delta);
+        let p_hat = count as f64 / n as f64;
+        prop_assert!(interval.low <= p_hat + 1e-12);
+        prop_assert!(interval.high >= p_hat - 1e-12);
+        prop_assert!(interval.low >= 0.0 && interval.high <= 1.0);
+        // Tighter confidence (larger delta) gives a narrower interval.
+        let looser = wilson_interval(count, n, (delta * 2.0).min(0.9));
+        prop_assert!(looser.width() <= interval.width() + 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.001f64..0.999) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 2e-4);
+    }
+
+    #[test]
+    fn separation_probability_is_antisymmetric(
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+        extra in 1u64..1_000,
+    ) {
+        let n = a.max(b) + extra;
+        let forward = separation_probability(a, b, n);
+        let backward = separation_probability(b, a, n);
+        prop_assert!((forward + backward - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&forward));
+    }
+
+    // ------------------------------------------------------------- PPR
+    #[test]
+    fn forward_push_never_exceeds_exact_ppr((graph, source) in arb_graph_and_source()) {
+        let exact = personalized_pagerank(
+            &graph,
+            &single_source_restart(graph.num_vertices(), source),
+            0.15,
+            200,
+            1e-10,
+        );
+        let push = forward_push_ppr(&graph, source, 0.15, 1e-4);
+        // Mass conservation: estimate + residual = 1.
+        let total = push.estimate.iter().sum::<f64>() + push.residual_mass();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // The push estimate is a lower bound on the exact PPR, vertex by vertex
+        // (up to the power-iteration tolerance).
+        for (e, x) in push.estimate.iter().zip(exact.scores.iter()) {
+            prop_assert!(*e <= *x + 1e-6);
+        }
+    }
+
+    #[test]
+    fn ppr_scores_sum_to_one_and_are_nonnegative((graph, source) in arb_graph_and_source()) {
+        let result = personalized_pagerank(
+            &graph,
+            &single_source_restart(graph.num_vertices(), source),
+            0.15,
+            100,
+            1e-9,
+        );
+        let total: f64 = result.scores.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(result.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    // ------------------------------------------------------------- Monte-Carlo
+    #[test]
+    fn complete_path_estimate_is_a_distribution(
+        (graph, _) in arb_graph_and_source(),
+        walkers in 1u64..5_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let est = complete_path_pagerank(&graph, walkers, 10, 0.15, &mut rng);
+        let total: f64 = est.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(est.iter().all(|&x| x >= 0.0));
+    }
+}

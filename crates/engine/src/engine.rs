@@ -1,0 +1,976 @@
+//! The synchronous (BSP) engine executing vertex programs over a partitioned graph.
+//!
+//! Each superstep proceeds through the phases described in [`crate::program`]:
+//! gather → apply → sync → scatter → message routing. All cross-machine data movement
+//! is accounted in [`RunMetrics`]; the partial-synchronization policy decides which
+//! mirrors receive fresh state and may therefore participate in scatter.
+//!
+//! Two execution modes are provided. The default single-threaded mode processes
+//! machines one after another; the multi-threaded mode runs the per-machine phases on
+//! one worker thread per simulated machine, joining at phase barriers. Both modes make
+//! every random decision through counter-mode hashes of `(seed, superstep, vertex,
+//! machine)`, so they produce identical results for identical configurations.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use frogwild_graph::VertexId;
+
+use crate::cluster::MachineId;
+use crate::metrics::{CostModel, NetworkStats, RunMetrics, SuperstepMetrics, WorkStats};
+use crate::placement::{PartitionedGraph, Shard};
+use crate::program::{ApplyContext, EdgeDirection, ScatterContext, VertexProgram};
+use crate::rng;
+use crate::sync::SyncPolicy;
+
+/// Domain-separation tags for the deterministic randomness streams.
+const TAG_APPLY: u64 = 0xA11_1;
+const TAG_SYNC: u64 = 0x5C_2;
+const TAG_SCATTER: u64 = 0x5CA_3;
+const TAG_FORCE: u64 = 0xF0C_4;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Mirror synchronization policy (the paper's `p_s`).
+    pub sync_policy: SyncPolicy,
+    /// Cost model converting counted work and traffic into simulated time.
+    pub cost_model: CostModel,
+    /// Maximum number of supersteps to execute.
+    pub max_supersteps: usize,
+    /// Seed for all engine randomness.
+    pub seed: u64,
+    /// If `true`, per-machine phases run on one thread per simulated machine.
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sync_policy: SyncPolicy::Full,
+            cost_model: CostModel::default(),
+            max_supersteps: 100,
+            seed: 0xF20C,
+            parallel: false,
+        }
+    }
+}
+
+/// How the first superstep's active set is formed.
+pub enum InitialActivation<M> {
+    /// Every vertex is active in superstep 0 with no incoming message
+    /// (how the standard PageRank starts).
+    AllVertices,
+    /// The listed messages are delivered before superstep 0; their recipients form the
+    /// initial active set (how FrogWild seeds its walkers). Delivery is local — it does
+    /// not count as network traffic, matching the paper's implementation where each
+    /// machine births its own share of the walkers.
+    Messages(Vec<(VertexId, M)>),
+}
+
+/// Result of an engine run.
+pub struct EngineOutput<S> {
+    /// Final state of every vertex, indexed by vertex id (taken from the masters).
+    pub states: Vec<S>,
+    /// Cost metrics of the run.
+    pub metrics: RunMetrics,
+}
+
+/// Work prepared centrally for one machine's apply phase.
+struct ApplyTask<P: VertexProgram> {
+    local: u32,
+    vertex: VertexId,
+    accum: Option<P::Accum>,
+    message: Option<P::Message>,
+}
+
+/// Work prepared centrally for one machine's scatter phase.
+struct ScatterTask {
+    local: u32,
+    vertex: VertexId,
+    replica_rank: usize,
+    num_participating: usize,
+}
+
+/// A state refresh a machine must apply to its mirror cache before scattering.
+struct SyncReceive<S> {
+    local: u32,
+    state: S,
+}
+
+/// The synchronous engine. Borrows the partitioned graph; owns the program and config.
+pub struct Engine<'g, P: VertexProgram> {
+    graph: &'g PartitionedGraph,
+    program: P,
+    config: EngineConfig,
+}
+
+impl<'g, P: VertexProgram> Engine<'g, P> {
+    /// Creates an engine for `program` over `graph`.
+    pub fn new(graph: &'g PartitionedGraph, program: P, config: EngineConfig) -> Self {
+        config
+            .sync_policy
+            .validate()
+            .expect("invalid synchronization policy");
+        Engine {
+            graph,
+            program,
+            config,
+        }
+    }
+
+    /// Access to the program (e.g. to read configuration back out).
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Runs the program to completion (quiescence or `max_supersteps`) and returns the
+    /// final per-vertex states plus the run metrics.
+    pub fn run(&self, initial: InitialActivation<P::Message>) -> EngineOutput<P::State> {
+        let num_machines = self.graph.num_machines();
+        let num_vertices = self.graph.num_vertices();
+
+        // Replica state caches: caches[machine][local index].
+        let mut caches: Vec<Vec<P::State>> = self
+            .graph
+            .shards()
+            .iter()
+            .map(|s| vec![P::State::default(); s.num_local_vertices()])
+            .collect();
+
+        // Message inboxes: inboxes[machine] maps local index (of a locally mastered
+        // vertex) to the combined incoming message.
+        let mut inboxes: Vec<HashMap<u32, P::Message>> =
+            (0..num_machines).map(|_| HashMap::new()).collect();
+
+        // Initial active set.
+        let mut active: Vec<VertexId> = match initial {
+            InitialActivation::AllVertices => (0..num_vertices as VertexId).collect(),
+            InitialActivation::Messages(messages) => {
+                let mut seen: Vec<(VertexId, P::Message)> = messages;
+                // Combine per destination, then deliver to masters locally.
+                seen.sort_by_key(|(v, _)| *v);
+                let mut active = Vec::new();
+                let mut iter = seen.into_iter();
+                let mut current: Option<(VertexId, P::Message)> = iter.next();
+                while let Some((v, msg)) = current.take() {
+                    let mut combined = msg;
+                    loop {
+                        match iter.next() {
+                            Some((v2, m2)) if v2 == v => {
+                                combined = self.program.combine_messages(combined, m2);
+                            }
+                            next => {
+                                current = next;
+                                break;
+                            }
+                        }
+                    }
+                    let master = self.graph.placement().master(v);
+                    let local = self
+                        .graph
+                        .shard(master)
+                        .local_index(v)
+                        .expect("master shard holds the vertex");
+                    inboxes[master.index()].insert(local, combined);
+                    active.push(v);
+                    if current.is_none() {
+                        break;
+                    }
+                }
+                active
+            }
+        };
+        active.sort_unstable();
+        active.dedup();
+
+        let mut metrics = RunMetrics {
+            replication_factor: self.graph.placement().replication_factor(),
+            num_machines,
+            ..RunMetrics::default()
+        };
+
+        for superstep in 0..self.config.max_supersteps {
+            if active.is_empty() {
+                break;
+            }
+            let start = Instant::now();
+            let (step_metrics, next_active) =
+                self.superstep(superstep, &active, &mut caches, &mut inboxes);
+            let host_seconds = start.elapsed().as_secs_f64();
+            metrics.supersteps.push(SuperstepMetrics {
+                host_seconds,
+                ..step_metrics
+            });
+            active = next_active;
+        }
+
+        // Collect final states from the masters.
+        let placement = self.graph.placement();
+        let states: Vec<P::State> = (0..num_vertices as VertexId)
+            .map(|v| {
+                let m = placement.master(v);
+                let local = self.graph.shard(m).local_index(v).expect("master replica");
+                caches[m.index()][local as usize].clone()
+            })
+            .collect();
+
+        EngineOutput { states, metrics }
+    }
+
+    /// Executes one superstep; returns its metrics and the next active set.
+    fn superstep(
+        &self,
+        superstep: usize,
+        active: &[VertexId],
+        caches: &mut [Vec<P::State>],
+        inboxes: &mut [HashMap<u32, P::Message>],
+    ) -> (SuperstepMetrics, Vec<VertexId>) {
+        let num_machines = self.graph.num_machines();
+        let placement = self.graph.placement();
+        let mut net = NetworkStats::new(num_machines);
+        let mut work = WorkStats::new(num_machines);
+
+        // ------------------------------------------------------------------ gather --
+        let mut accums: Vec<HashMap<u32, P::Accum>> =
+            (0..num_machines).map(|_| HashMap::new()).collect();
+        if self.program.gather_direction() == EdgeDirection::In {
+            // Which local vertices must gather on each machine.
+            let mut gather_tasks: Vec<Vec<u32>> = vec![Vec::new(); num_machines];
+            for &v in active {
+                for &m in placement.replicas(v) {
+                    if let Some(local) = self.graph.shard(m).local_index(v) {
+                        if self.graph.shard(m).local_in_degree(local) > 0 {
+                            gather_tasks[m.index()].push(local);
+                        }
+                    }
+                }
+            }
+            let per_machine: Vec<(Vec<(VertexId, P::Accum)>, u64)> = self.run_per_machine(
+                caches,
+                |machine, cache| {
+                    let shard = self.graph.shard(MachineId::from(machine));
+                    gather_machine(&self.program, self.graph, shard, cache, &gather_tasks[machine])
+                },
+            );
+            for (machine, (partials, ops)) in per_machine.into_iter().enumerate() {
+                work.gather_ops += ops;
+                work.ops_per_machine[machine] += ops;
+                for (vertex, accum) in partials {
+                    let master = placement.master(vertex);
+                    if master.index() != machine {
+                        net.record(
+                            machine,
+                            (self.program.accum_bytes() + self.config.cost_model.message_header_bytes)
+                                as u64,
+                        );
+                    }
+                    let local = self
+                        .graph
+                        .shard(master)
+                        .local_index(vertex)
+                        .expect("master replica");
+                    match accums[master.index()].entry(local) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let combined = self.program.combine_accums(e.get().clone(), accum);
+                            e.insert(combined);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(accum);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------- apply --
+        let mut apply_tasks: Vec<Vec<ApplyTask<P>>> = (0..num_machines).map(|_| Vec::new()).collect();
+        for &v in active {
+            let master = placement.master(v);
+            let local = self
+                .graph
+                .shard(master)
+                .local_index(v)
+                .expect("master replica");
+            let accum = accums[master.index()].remove(&local);
+            let message = inboxes[master.index()].remove(&local);
+            apply_tasks[master.index()].push(ApplyTask {
+                local,
+                vertex: v,
+                accum,
+                message,
+            });
+        }
+        let apply_counts: Vec<u64> = self.run_per_machine_mut(caches, |machine, cache| {
+            apply_machine(
+                &self.program,
+                self.graph,
+                cache,
+                &apply_tasks[machine],
+                superstep,
+                self.config.seed,
+            )
+        });
+        for (machine, ops) in apply_counts.into_iter().enumerate() {
+            work.apply_ops += ops;
+            work.ops_per_machine[machine] += ops;
+        }
+
+        // ----------------------------------------------------- sync decision (central) --
+        let ps = self.config.sync_policy.probability();
+        let mut sync_receives: Vec<Vec<SyncReceive<P::State>>> =
+            (0..num_machines).map(|_| Vec::new()).collect();
+        let mut scatter_tasks: Vec<Vec<ScatterTask>> =
+            (0..num_machines).map(|_| Vec::new()).collect();
+
+        for &v in active {
+            let master = placement.master(v);
+            let master_local = self
+                .graph
+                .shard(master)
+                .local_index(v)
+                .expect("master replica");
+            let master_state = &caches[master.index()][master_local as usize];
+            if !self.program.needs_scatter(v, master_state) {
+                continue;
+            }
+            let replicas = placement.replicas(v);
+            // Decide which replicas are synchronized (and hence may scatter).
+            let mut participating: Vec<MachineId> = Vec::with_capacity(replicas.len());
+            for &r in replicas {
+                if r == master {
+                    participating.push(r);
+                    continue;
+                }
+                let synced = match self.config.sync_policy {
+                    SyncPolicy::Full => true,
+                    SyncPolicy::Independent { .. } | SyncPolicy::AtLeastOneOutEdge { .. } => {
+                        rng::coin(ps, &[self.config.seed, superstep as u64, v as u64, r.index() as u64, TAG_SYNC])
+                    }
+                };
+                if synced {
+                    participating.push(r);
+                    work.sync_ops += 1;
+                    work.ops_per_machine[master.index()] += 1;
+                    net.record(
+                        master.index(),
+                        (self.program.state_bytes() + self.config.cost_model.message_header_bytes)
+                            as u64,
+                    );
+                } else {
+                    work.skipped_syncs += 1;
+                }
+            }
+
+            // "At least one out-edge per node": if no participating replica owns an
+            // out-edge while the vertex does have out-edges, force-sync one replica
+            // that does.
+            if self.config.sync_policy.guarantees_out_edge() && self.graph.out_degree(v) > 0 {
+                let has_out = |m: MachineId| {
+                    let shard = self.graph.shard(m);
+                    shard
+                        .local_index(v)
+                        .map(|l| shard.local_out_degree(l) > 0)
+                        .unwrap_or(false)
+                };
+                if !participating.iter().any(|&m| has_out(m)) {
+                    let candidates: Vec<MachineId> =
+                        replicas.iter().copied().filter(|&m| has_out(m)).collect();
+                    if !candidates.is_empty() {
+                        let pick = candidates[rng::pick_index(
+                            candidates.len(),
+                            &[self.config.seed, superstep as u64, v as u64, TAG_FORCE],
+                        )];
+                        participating.push(pick);
+                        if pick != master {
+                            work.sync_ops += 1;
+                            work.skipped_syncs = work.skipped_syncs.saturating_sub(1);
+                            work.ops_per_machine[master.index()] += 1;
+                            net.record(
+                                master.index(),
+                                (self.program.state_bytes()
+                                    + self.config.cost_model.message_header_bytes)
+                                    as u64,
+                            );
+                        }
+                        participating.sort_unstable();
+                    }
+                }
+            }
+
+            // Queue state refreshes for participating non-master machines.
+            for &m in &participating {
+                if m == master {
+                    continue;
+                }
+                let local = self
+                    .graph
+                    .shard(m)
+                    .local_index(v)
+                    .expect("replica exists on participating machine");
+                sync_receives[m.index()].push(SyncReceive {
+                    local,
+                    state: master_state.clone(),
+                });
+            }
+
+            // Scatter tasks: participating replicas that own at least one out-edge.
+            let scatterers: Vec<MachineId> = participating
+                .iter()
+                .copied()
+                .filter(|&m| {
+                    let shard = self.graph.shard(m);
+                    shard
+                        .local_index(v)
+                        .map(|l| shard.local_out_degree(l) > 0)
+                        .unwrap_or(false)
+                })
+                .collect();
+            let num_participating = scatterers.len();
+            for (rank, &m) in scatterers.iter().enumerate() {
+                let local = self.graph.shard(m).local_index(v).expect("replica");
+                scatter_tasks[m.index()].push(ScatterTask {
+                    local,
+                    vertex: v,
+                    replica_rank: rank,
+                    num_participating,
+                });
+            }
+        }
+
+        // ----------------------------------------------------- sync apply + scatter --
+        let scatter_results: Vec<(Vec<(VertexId, P::Message)>, u64)> =
+            self.run_per_machine_mut(caches, |machine, cache| {
+                let shard = self.graph.shard(MachineId::from(machine));
+                scatter_machine(
+                    &self.program,
+                    self.graph,
+                    shard,
+                    cache,
+                    &sync_receives[machine],
+                    &scatter_tasks[machine],
+                    superstep,
+                    self.config.seed,
+                    ps,
+                )
+            });
+
+        // ----------------------------------------------------------- route messages --
+        let mut next_inbox_updates: Vec<(usize, u32, P::Message, bool)> = Vec::new();
+        for (machine, (outbox, ops)) in scatter_results.into_iter().enumerate() {
+            work.scatter_ops += ops;
+            work.ops_per_machine[machine] += ops;
+            // Combine per destination within the sending machine (walkers headed to the
+            // same vertex travel as one message — the paper's first optimization).
+            let mut combined: Vec<(VertexId, P::Message)> = outbox;
+            combined.sort_by_key(|(v, _)| *v);
+            let mut merged: Vec<(VertexId, P::Message)> = Vec::with_capacity(combined.len());
+            for (v, msg) in combined {
+                match merged.last_mut() {
+                    Some((lv, lm)) if *lv == v => {
+                        *lm = self.program.combine_messages(lm.clone(), msg);
+                    }
+                    _ => merged.push((v, msg)),
+                }
+            }
+            for (dst, msg) in merged {
+                let master = placement.master(dst);
+                let crossed = master.index() != machine;
+                if crossed {
+                    net.record(
+                        machine,
+                        (self.program.message_bytes() + self.config.cost_model.message_header_bytes)
+                            as u64,
+                    );
+                }
+                let local = self
+                    .graph
+                    .shard(master)
+                    .local_index(dst)
+                    .expect("master replica");
+                next_inbox_updates.push((master.index(), local, msg, crossed));
+            }
+        }
+        let mut next_active: Vec<VertexId> = Vec::new();
+        for (machine, local, msg, _) in next_inbox_updates {
+            let vertex = self.graph.shard(MachineId::from(machine)).global_id(local);
+            match inboxes[machine].entry(local) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let combined = self.program.combine_messages(e.get().clone(), msg);
+                    e.insert(combined);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(msg);
+                    next_active.push(vertex);
+                }
+            }
+        }
+        next_active.sort_unstable();
+
+        let simulated_seconds = self.config.cost_model.superstep_seconds(&work, &net);
+        let step_metrics = SuperstepMetrics {
+            superstep,
+            active_vertices: active.len(),
+            network: net,
+            work,
+            simulated_seconds,
+            host_seconds: 0.0,
+        };
+        (step_metrics, next_active)
+    }
+
+    /// Runs a read-only per-machine closure either serially or on one thread per
+    /// machine, returning results in machine order.
+    fn run_per_machine<T, F>(&self, caches: &[Vec<P::State>], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &Vec<P::State>) -> T + Sync,
+    {
+        if self.config.parallel && self.graph.num_machines() > 1 {
+            let f = &f;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = caches
+                    .iter()
+                    .enumerate()
+                    .map(|(machine, cache)| scope.spawn(move || f(machine, cache)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("machine worker panicked")).collect()
+            })
+        } else {
+            caches
+                .iter()
+                .enumerate()
+                .map(|(machine, cache)| f(machine, cache))
+                .collect()
+        }
+    }
+
+    /// Runs a mutating per-machine closure either serially or on one thread per
+    /// machine, returning results in machine order.
+    fn run_per_machine_mut<T, F>(&self, caches: &mut [Vec<P::State>], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut Vec<P::State>) -> T + Sync,
+    {
+        if self.config.parallel && self.graph.num_machines() > 1 {
+            let f = &f;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = caches
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(machine, cache)| scope.spawn(move || f(machine, cache)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("machine worker panicked")).collect()
+            })
+        } else {
+            caches
+                .iter_mut()
+                .enumerate()
+                .map(|(machine, cache)| f(machine, cache))
+                .collect()
+        }
+    }
+}
+
+/// Per-machine gather: partial accumulations over locally-owned in-edges of the listed
+/// local vertices. Returns `(vertex, partial)` pairs plus the number of edge operations.
+fn gather_machine<P: VertexProgram>(
+    program: &P,
+    graph: &PartitionedGraph,
+    shard: &Shard,
+    cache: &[P::State],
+    locals: &[u32],
+) -> (Vec<(VertexId, P::Accum)>, u64) {
+    let mut out = Vec::new();
+    let mut ops = 0u64;
+    for &local in locals {
+        let vertex = shard.global_id(local);
+        let dst_state = &cache[local as usize];
+        let mut acc: Option<P::Accum> = None;
+        for &src_local in shard.local_in_neighbors(local) {
+            ops += 1;
+            let src = shard.global_id(src_local);
+            let src_state = &cache[src_local as usize];
+            if let Some(partial) =
+                program.gather_edge(src, vertex, src_state, dst_state, graph.out_degree(src))
+            {
+                acc = Some(match acc {
+                    None => partial,
+                    Some(existing) => program.combine_accums(existing, partial),
+                });
+            }
+        }
+        if let Some(acc) = acc {
+            out.push((vertex, acc));
+        }
+    }
+    (out, ops)
+}
+
+/// Per-machine apply: runs `apply` for each locally-mastered active vertex. Returns the
+/// number of apply operations.
+fn apply_machine<P: VertexProgram>(
+    program: &P,
+    graph: &PartitionedGraph,
+    cache: &mut [P::State],
+    tasks: &[ApplyTask<P>],
+    superstep: usize,
+    seed: u64,
+) -> u64 {
+    for task in tasks {
+        let mut task_rng = rng::derived_rng(&[seed, superstep as u64, task.vertex as u64, TAG_APPLY]);
+        let mut ctx = ApplyContext {
+            superstep,
+            num_vertices: graph.num_vertices(),
+            out_degree: graph.out_degree(task.vertex),
+            rng: &mut task_rng,
+        };
+        program.apply(
+            &mut ctx,
+            task.vertex,
+            &mut cache[task.local as usize],
+            task.accum.clone(),
+            task.message.clone(),
+        );
+    }
+    tasks.len() as u64
+}
+
+/// Per-machine sync-apply and scatter. Refreshes the mirror cache with the received
+/// states, then runs `scatter_replica` for every scatter task. Returns the emitted
+/// messages and the number of edge operations considered.
+#[allow(clippy::too_many_arguments)]
+fn scatter_machine<P: VertexProgram>(
+    program: &P,
+    graph: &PartitionedGraph,
+    shard: &Shard,
+    cache: &mut [P::State],
+    receives: &[SyncReceive<P::State>],
+    tasks: &[ScatterTask],
+    superstep: usize,
+    seed: u64,
+    sync_probability: f64,
+) -> (Vec<(VertexId, P::Message)>, u64) {
+    for recv in receives {
+        cache[recv.local as usize] = recv.state.clone();
+    }
+    let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
+    let mut ops = 0u64;
+    for task in tasks {
+        let local_neighbors: Vec<VertexId> = shard
+            .local_out_neighbors(task.local)
+            .iter()
+            .map(|&l| shard.global_id(l))
+            .collect();
+        ops += local_neighbors.len() as u64;
+        let mut task_rng = rng::derived_rng(&[
+            seed,
+            superstep as u64,
+            task.vertex as u64,
+            shard.machine.index() as u64,
+            TAG_SCATTER,
+        ]);
+        let mut ctx = ScatterContext {
+            superstep,
+            machine: shard.machine,
+            replica_rank: task.replica_rank,
+            num_participating: task.num_participating,
+            global_out_degree: graph.out_degree(task.vertex),
+            local_out_degree: local_neighbors.len(),
+            sync_probability,
+            rng: &mut task_rng,
+        };
+        let state = &cache[task.local as usize];
+        program.scatter_replica(&mut ctx, task.vertex, state, &local_neighbors, &mut |dst, msg| {
+            outbox.push((dst, msg));
+        });
+    }
+    (outbox, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::ObliviousPartitioner;
+    use frogwild_graph::generators::simple::{cycle, star};
+    use frogwild_graph::generators::{rmat, RmatParams};
+    use frogwild_graph::DiGraph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A token-passing program: each vertex forwards the tokens it received to its
+    /// out-neighbors; at the final step tokens are absorbed into `arrived`. On any
+    /// graph with full out-edge coverage the total arrived count equals the number of
+    /// tokens injected, which pins down the engine's message routing, splitting and
+    /// activation logic.
+    struct TokenForward {
+        steps: usize,
+    }
+
+    #[derive(Clone, Default)]
+    struct TokenState {
+        /// Tokens this vertex will forward during the current superstep's scatter.
+        forwarding: u64,
+        /// Tokens absorbed at the final step.
+        arrived: u64,
+    }
+
+    impl VertexProgram for TokenForward {
+        type State = TokenState;
+        type Message = u64;
+        type Accum = ();
+
+        fn combine_messages(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn combine_accums(&self, _a: (), _b: ()) {}
+
+        fn apply(
+            &self,
+            ctx: &mut ApplyContext<'_>,
+            _vertex: VertexId,
+            state: &mut TokenState,
+            _accum: Option<()>,
+            message: Option<u64>,
+        ) {
+            let incoming = message.unwrap_or(0);
+            if ctx.superstep + 1 >= self.steps {
+                state.arrived += incoming;
+                state.forwarding = 0;
+            } else {
+                state.forwarding = incoming;
+            }
+        }
+
+        fn needs_scatter(&self, _vertex: VertexId, state: &TokenState) -> bool {
+            state.forwarding > 0
+        }
+
+        fn scatter_replica(
+            &self,
+            ctx: &mut ScatterContext<'_>,
+            _vertex: VertexId,
+            state: &TokenState,
+            local_out_neighbors: &[VertexId],
+            emit: &mut dyn FnMut(VertexId, u64),
+        ) {
+            // Split the tokens across the participating replicas, then evenly across
+            // this replica's local out-edges (remainder to the first edges).
+            if local_out_neighbors.is_empty() {
+                return;
+            }
+            let share = split_share(state.forwarding, ctx.num_participating, ctx.replica_rank);
+            if share == 0 {
+                return;
+            }
+            let per_edge = share / local_out_neighbors.len() as u64;
+            let mut remainder = share % local_out_neighbors.len() as u64;
+            for &dst in local_out_neighbors {
+                let mut amount = per_edge;
+                if remainder > 0 {
+                    amount += 1;
+                    remainder -= 1;
+                }
+                if amount > 0 {
+                    emit(dst, amount);
+                }
+            }
+        }
+    }
+
+    /// Evenly splits `total` across `parts`, returning the share of `index`.
+    fn split_share(total: u64, parts: usize, index: usize) -> u64 {
+        let parts = parts as u64;
+        let base = total / parts;
+        let extra = total % parts;
+        base + if (index as u64) < extra { 1 } else { 0 }
+    }
+
+    fn partitioned(graph: &DiGraph, machines: usize) -> PartitionedGraph {
+        PartitionedGraph::build(graph, machines, &ObliviousPartitioner, 99)
+    }
+
+    fn total_tokens(states: &[TokenState]) -> u64 {
+        states.iter().map(|s| s.arrived).sum()
+    }
+
+    #[test]
+    fn tokens_are_conserved_on_a_cycle() {
+        let graph = cycle(50);
+        let pg = partitioned(&graph, 4);
+        let engine = Engine::new(
+            &pg,
+            TokenForward { steps: 10 },
+            EngineConfig {
+                max_supersteps: 10,
+                ..EngineConfig::default()
+            },
+        );
+        let initial = vec![(0u32, 1000u64), (25u32, 500u64)];
+        let out = engine.run(InitialActivation::Messages(initial));
+        assert_eq!(total_tokens(&out.states), 1500);
+        assert_eq!(out.metrics.num_supersteps(), 10);
+    }
+
+    #[test]
+    fn tokens_move_along_the_cycle() {
+        let graph = cycle(10);
+        let pg = partitioned(&graph, 2);
+        let engine = Engine::new(
+            &pg,
+            TokenForward { steps: 3 },
+            EngineConfig {
+                max_supersteps: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(InitialActivation::Messages(vec![(0u32, 7u64)]));
+        // The tokens are injected at vertex 0, forwarded twice, and absorbed at the
+        // final superstep two hops downstream.
+        assert_eq!(out.states[2].arrived, 7);
+        assert_eq!(total_tokens(&out.states), 7);
+    }
+
+    #[test]
+    fn engine_stops_when_quiescent() {
+        let graph = cycle(10);
+        let pg = partitioned(&graph, 2);
+        let engine = Engine::new(
+            &pg,
+            TokenForward { steps: 2 },
+            EngineConfig {
+                max_supersteps: 50,
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(InitialActivation::Messages(vec![(0u32, 5u64)]));
+        // steps=2 means the program stops scattering after superstep 1; one more
+        // superstep delivers the final messages and then the engine finds no work.
+        assert!(out.metrics.num_supersteps() <= 3);
+    }
+
+    #[test]
+    fn no_initial_messages_means_no_work() {
+        let graph = cycle(10);
+        let pg = partitioned(&graph, 2);
+        let engine = Engine::new(&pg, TokenForward { steps: 5 }, EngineConfig::default());
+        let out = engine.run(InitialActivation::Messages(vec![]));
+        assert_eq!(out.metrics.num_supersteps(), 0);
+        assert_eq!(total_tokens(&out.states), 0);
+    }
+
+    #[test]
+    fn single_machine_run_has_no_network_traffic() {
+        let graph = cycle(30);
+        let pg = partitioned(&graph, 1);
+        let engine = Engine::new(
+            &pg,
+            TokenForward { steps: 5 },
+            EngineConfig {
+                max_supersteps: 5,
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(InitialActivation::Messages(vec![(0u32, 100u64)]));
+        assert_eq!(out.metrics.total_bytes(), 0);
+        assert_eq!(total_tokens(&out.states), 100);
+    }
+
+    #[test]
+    fn multi_machine_run_counts_network_traffic() {
+        let graph = cycle(30);
+        let pg = partitioned(&graph, 6);
+        let engine = Engine::new(
+            &pg,
+            TokenForward { steps: 5 },
+            EngineConfig {
+                max_supersteps: 5,
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(InitialActivation::Messages(vec![(0u32, 100u64)]));
+        assert!(out.metrics.total_bytes() > 0);
+        assert!(out.metrics.total_messages() > 0);
+        assert!(out.metrics.total_simulated_seconds() > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_agree() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let graph = rmat(300, RmatParams::default(), &mut rng);
+        let pg = partitioned(&graph, 4);
+        let run = |parallel: bool| {
+            let engine = Engine::new(
+                &pg,
+                TokenForward { steps: 6 },
+                EngineConfig {
+                    max_supersteps: 6,
+                    parallel,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.run(InitialActivation::Messages(vec![(0u32, 5000u64), (7u32, 300u64)]))
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        let serial_tokens: Vec<u64> = serial.states.iter().map(|s| s.arrived + s.forwarding).collect();
+        let parallel_tokens: Vec<u64> = parallel.states.iter().map(|s| s.arrived + s.forwarding).collect();
+        assert_eq!(serial_tokens, parallel_tokens);
+        assert_eq!(serial.metrics.total_bytes(), parallel.metrics.total_bytes());
+        assert_eq!(serial.metrics.total_ops(), parallel.metrics.total_ops());
+    }
+
+    #[test]
+    fn partial_sync_reduces_synchronizations_and_traffic() {
+        let graph = star(400);
+        let pg = partitioned(&graph, 8);
+        let run = |policy: SyncPolicy| {
+            let engine = Engine::new(
+                &pg,
+                TokenForward { steps: 4 },
+                EngineConfig {
+                    max_supersteps: 4,
+                    sync_policy: policy,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.run(InitialActivation::Messages(vec![(0u32, 10_000u64)]))
+        };
+        let full = run(SyncPolicy::Full);
+        let partial = run(SyncPolicy::AtLeastOneOutEdge { ps: 0.1 });
+        assert!(partial.metrics.total_syncs() < full.metrics.total_syncs());
+        assert!(partial.metrics.total_bytes() < full.metrics.total_bytes());
+        assert_eq!(full.metrics.total_skipped_syncs(), 0);
+        assert!(partial.metrics.total_skipped_syncs() > 0);
+        // tokens are conserved regardless of the sync policy
+        assert_eq!(total_tokens(&full.states), 10_000);
+        assert_eq!(total_tokens(&partial.states), 10_000);
+    }
+
+    #[test]
+    fn all_vertices_activation_applies_everyone() {
+        let graph = cycle(12);
+        let pg = partitioned(&graph, 3);
+        let engine = Engine::new(
+            &pg,
+            TokenForward { steps: 1 },
+            EngineConfig {
+                max_supersteps: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let out = engine.run(InitialActivation::AllVertices);
+        assert_eq!(out.metrics.supersteps[0].active_vertices, 12);
+        assert_eq!(out.metrics.supersteps[0].work.apply_ops, 12);
+    }
+
+    #[test]
+    fn metrics_record_replication_factor() {
+        let graph = star(100);
+        let pg = partitioned(&graph, 8);
+        let engine = Engine::new(&pg, TokenForward { steps: 1 }, EngineConfig::default());
+        let out = engine.run(InitialActivation::Messages(vec![(0u32, 1u64)]));
+        assert!(out.metrics.replication_factor >= 1.0);
+        assert_eq!(out.metrics.num_machines, 8);
+    }
+}

@@ -1,0 +1,55 @@
+//! # frogwild-engine
+//!
+//! A from-scratch, PowerGraph-like **simulated distributed graph engine**.
+//!
+//! The FrogWild paper implements its algorithm inside GraphLab PowerGraph and modifies
+//! the engine so that master vertices synchronize each mirror only with probability
+//! `p_s`. Reproducing the paper therefore requires the engine layer itself. This crate
+//! provides that layer:
+//!
+//! * **Vertex-cut partitioning** ([`partition`]) — edges are assigned to machines
+//!   (random, grid-constrained, and the greedy "oblivious" heuristic PowerGraph uses),
+//!   and every vertex obtains one *master* replica plus cached *mirror* replicas on all
+//!   other machines that own one of its edges ([`placement`]).
+//! * **GAS vertex programs** ([`program`]) — the gather / apply / scatter abstraction,
+//!   expressed so that gather runs on the machine owning each edge, apply runs at the
+//!   master, and scatter runs on every *participating* replica.
+//! * **Partial synchronization** ([`sync`]) — the paper's `p_s` knob: after apply, each
+//!   mirror of an active vertex is synchronized only with probability `p_s`. The
+//!   "at least one out-edge per node" variant from Appendix A is included.
+//! * **Cost accounting** ([`metrics`]) — bytes and messages crossing machine boundaries,
+//!   per-machine work operations, replication factors, and a simulated cluster-time
+//!   model so experiments can report the same four panels as Figure 1 of the paper
+//!   (per-iteration time, total time, network bytes, CPU time).
+//! * **Execution** ([`engine`]) — a deterministic single-threaded executor and a
+//!   multi-threaded executor (one worker per simulated machine, synchronized at
+//!   superstep barriers) that produce identical results for the same seed.
+//!
+//! The engine is *simulated* in the sense that all "machines" live in one process and
+//! network transfer is accounted rather than performed; everything else — the data
+//! placement, the message flow, which replica knows what and when — follows the
+//! PowerGraph execution model. See `DESIGN.md` §2 for why this preserves the paper's
+//! claims.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod engine;
+pub mod metrics;
+pub mod partition;
+pub mod placement;
+pub mod program;
+pub mod rng;
+pub mod sync;
+
+pub use cluster::{ClusterConfig, MachineId};
+pub use engine::{Engine, EngineConfig, EngineOutput, InitialActivation};
+pub use metrics::{CostModel, NetworkStats, RunMetrics, SuperstepMetrics, WorkStats};
+pub use partition::{
+    GridPartitioner, HdrfPartitioner, HybridPartitioner, ObliviousPartitioner, Partitioner,
+    RandomPartitioner,
+};
+pub use placement::{PartitionedGraph, Shard, VertexPlacement};
+pub use program::{ApplyContext, EdgeDirection, ScatterContext, VertexProgram};
+pub use sync::SyncPolicy;

@@ -1,0 +1,153 @@
+//! Vertex-cut partitioning: assigning every *edge* to a machine.
+//!
+//! PowerGraph-style engines split the graph by edges (a *vertex-cut*): each edge lives
+//! on exactly one machine, and a vertex is replicated on every machine that owns at
+//! least one of its edges. The quality metric is the **replication factor** — the
+//! average number of replicas per vertex — because it determines how much master↔mirror
+//! traffic every superstep generates (precisely the traffic the paper's `p_s` knob
+//! attacks).
+//!
+//! Five ingress strategies are provided. The first three mirror the options PowerGraph
+//! ships; the last two are the strongest published streaming heuristics and are used by
+//! the partitioner-ablation benchmark:
+//!
+//! * [`RandomPartitioner`] — hash each edge to a machine. Simple, highest replication.
+//! * [`GridPartitioner`] — constrain each vertex's replicas to a row+column of a
+//!   machine grid, bounding the replication factor by `2√M`.
+//! * [`ObliviousPartitioner`] — the greedy heuristic from the PowerGraph paper: place
+//!   each edge on a machine that already hosts its endpoints when possible, breaking
+//!   ties by load. Used by GraphLab's default ingress and therefore the default for the
+//!   experiments here.
+//! * [`HdrfPartitioner`] — High-Degree Replicated First (Petroni et al.): prefer
+//!   splitting the hub endpoint of each edge, keeping the long tail of low-degree
+//!   vertices whole.
+//! * [`HybridPartitioner`] — PowerLyra-style hybrid cut: co-locate the in-edges of
+//!   low-degree vertices, scatter only the hubs.
+
+mod grid;
+mod hdrf;
+mod hybrid;
+mod oblivious;
+mod random;
+
+pub use grid::GridPartitioner;
+pub use hdrf::HdrfPartitioner;
+pub use hybrid::HybridPartitioner;
+pub use oblivious::ObliviousPartitioner;
+pub use random::{expected_random_replication, RandomPartitioner};
+
+use crate::cluster::MachineId;
+use frogwild_graph::DiGraph;
+
+/// Assignment of every edge (in `graph.edges()` iteration order) to a machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeAssignment {
+    /// `machines[i]` is the machine owning the `i`-th edge of `graph.edges()`.
+    pub machines: Vec<MachineId>,
+    /// Number of machines the assignment targets.
+    pub num_machines: usize,
+}
+
+impl EdgeAssignment {
+    /// Number of edges assigned to each machine.
+    pub fn edges_per_machine(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_machines];
+        for m in &self.machines {
+            counts[m.index()] += 1;
+        }
+        counts
+    }
+
+    /// The load-imbalance factor: max edges on a machine divided by the mean.
+    /// 1.0 means perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let counts = self.edges_per_machine();
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.machines.len() as f64 / self.num_machines as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// A vertex-cut ingress strategy.
+pub trait Partitioner {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Assigns every edge of `graph` to one of `num_machines` machines.
+    ///
+    /// Implementations must be deterministic functions of `(graph, num_machines, seed)`.
+    fn assign(&self, graph: &DiGraph, num_machines: usize, seed: u64) -> EdgeAssignment;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use frogwild_graph::generators::{rmat, RmatParams};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A mid-sized heavy-tailed test graph shared by the partitioner tests.
+    pub fn test_graph() -> DiGraph {
+        let mut rng = SmallRng::seed_from_u64(42);
+        rmat(800, RmatParams::default(), &mut rng)
+    }
+
+    /// Asserts the basic contract every partitioner must satisfy.
+    pub fn check_partitioner_contract(p: &dyn Partitioner, machines: usize) {
+        let g = test_graph();
+        let a = p.assign(&g, machines, 7);
+        assert_eq!(a.machines.len(), g.num_edges(), "{}: one machine per edge", p.name());
+        assert_eq!(a.num_machines, machines);
+        assert!(
+            a.machines.iter().all(|m| m.index() < machines),
+            "{}: machine ids in range",
+            p.name()
+        );
+        // determinism
+        let b = p.assign(&g, machines, 7);
+        assert_eq!(a, b, "{}: deterministic for fixed seed", p.name());
+        // every machine gets at least one edge on this size of graph
+        let counts = a.edges_per_machine();
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "{}: no empty machines on a dense-enough graph (counts {counts:?})",
+            p.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_assignment_stats() {
+        let a = EdgeAssignment {
+            machines: vec![MachineId(0), MachineId(0), MachineId(1), MachineId(1)],
+            num_machines: 2,
+        };
+        assert_eq!(a.edges_per_machine(), vec![2, 2]);
+        assert!((a.imbalance() - 1.0).abs() < 1e-12);
+
+        let skewed = EdgeAssignment {
+            machines: vec![MachineId(0), MachineId(0), MachineId(0), MachineId(1)],
+            num_machines: 2,
+        };
+        assert_eq!(skewed.edges_per_machine(), vec![3, 1]);
+        assert!((skewed.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_assignment_is_well_defined() {
+        let a = EdgeAssignment {
+            machines: vec![],
+            num_machines: 3,
+        };
+        assert_eq!(a.edges_per_machine(), vec![0, 0, 0]);
+        assert_eq!(a.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,574 @@
+//! Master/mirror placement and per-machine graph shards.
+//!
+//! Given an edge-to-machine assignment (a vertex-cut), this module derives the data
+//! layout a PowerGraph-like engine works with:
+//!
+//! * every vertex has a replica on each machine owning at least one of its edges;
+//! * exactly one replica is designated the **master** (it holds the authoritative vertex
+//!   state, runs `apply`, and pushes updates to the mirrors);
+//! * every machine holds a [`Shard`]: its local edges in CSR form over *local* vertex
+//!   indices, plus lookup tables between local and global ids.
+//!
+//! The replication factor reported by [`VertexPlacement::replication_factor`] is the
+//! quantity that drives the per-iteration network cost of the standard PageRank — the
+//! cost the paper's partial synchronization reduces.
+
+use crate::cluster::MachineId;
+use crate::partition::{EdgeAssignment, Partitioner};
+use crate::rng;
+use frogwild_graph::{DiGraph, VertexId};
+use std::collections::HashMap;
+
+/// Where each vertex's master lives and which machines hold replicas.
+#[derive(Clone, Debug)]
+pub struct VertexPlacement {
+    /// Master machine of every vertex.
+    master: Vec<MachineId>,
+    /// Sorted list of machines holding a replica of every vertex (always contains the
+    /// master's machine).
+    replicas: Vec<Vec<MachineId>>,
+}
+
+impl VertexPlacement {
+    /// Master machine of `v`.
+    #[inline]
+    pub fn master(&self, v: VertexId) -> MachineId {
+        self.master[v as usize]
+    }
+
+    /// Machines holding a replica of `v` (sorted, includes the master's machine).
+    #[inline]
+    pub fn replicas(&self, v: VertexId) -> &[MachineId] {
+        &self.replicas[v as usize]
+    }
+
+    /// Mirror machines of `v` (replicas excluding the master's machine).
+    pub fn mirrors(&self, v: VertexId) -> impl Iterator<Item = MachineId> + '_ {
+        let master = self.master(v);
+        self.replicas[v as usize]
+            .iter()
+            .copied()
+            .filter(move |&m| m != master)
+    }
+
+    /// Number of vertices placed.
+    pub fn num_vertices(&self) -> usize {
+        self.master.len()
+    }
+
+    /// Average number of replicas per vertex — the key cost metric of a vertex-cut.
+    pub fn replication_factor(&self) -> f64 {
+        if self.replicas.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.replicas.iter().map(|r| r.len()).sum();
+        total as f64 / self.replicas.len() as f64
+    }
+
+    /// Total number of mirror replicas (replicas minus masters), i.e. the number of
+    /// master→mirror synchronization messages a full sync of every vertex would send.
+    pub fn total_mirrors(&self) -> usize {
+        self.replicas
+            .iter()
+            .map(|r| r.len().saturating_sub(1))
+            .sum()
+    }
+}
+
+/// The slice of the graph owned by one machine.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// The machine this shard belongs to.
+    pub machine: MachineId,
+    /// Global ids of the vertices with a replica on this machine, sorted ascending.
+    /// Local vertex index `i` refers to `vertices[i]`.
+    pub vertices: Vec<VertexId>,
+    /// Map from global vertex id to local index.
+    global_to_local: HashMap<VertexId, u32>,
+    /// `true` for local vertices whose master lives on this machine.
+    pub is_master: Vec<bool>,
+    /// Local edges in CSR form by *source* local index (used by scatter).
+    out_offsets: Vec<usize>,
+    out_targets_local: Vec<u32>,
+    /// Local edges in CSR form by *destination* local index (used by gather).
+    in_offsets: Vec<usize>,
+    in_sources_local: Vec<u32>,
+}
+
+impl Shard {
+    /// Number of local vertex replicas.
+    pub fn num_local_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges owned by this machine.
+    pub fn num_local_edges(&self) -> usize {
+        self.out_targets_local.len()
+    }
+
+    /// Local index of a global vertex id, if the vertex has a replica here.
+    #[inline]
+    pub fn local_index(&self, v: VertexId) -> Option<u32> {
+        self.global_to_local.get(&v).copied()
+    }
+
+    /// Global id of a local index.
+    #[inline]
+    pub fn global_id(&self, local: u32) -> VertexId {
+        self.vertices[local as usize]
+    }
+
+    /// Local out-neighbors (as local indices) of the vertex with local index `local`.
+    #[inline]
+    pub fn local_out_neighbors(&self, local: u32) -> &[u32] {
+        let l = local as usize;
+        &self.out_targets_local[self.out_offsets[l]..self.out_offsets[l + 1]]
+    }
+
+    /// Local in-neighbors (as local indices) of the vertex with local index `local`.
+    #[inline]
+    pub fn local_in_neighbors(&self, local: u32) -> &[u32] {
+        let l = local as usize;
+        &self.in_sources_local[self.in_offsets[l]..self.in_offsets[l + 1]]
+    }
+
+    /// Number of out-edges of `local` owned by this machine.
+    #[inline]
+    pub fn local_out_degree(&self, local: u32) -> usize {
+        let l = local as usize;
+        self.out_offsets[l + 1] - self.out_offsets[l]
+    }
+
+    /// Number of in-edges of `local` owned by this machine.
+    #[inline]
+    pub fn local_in_degree(&self, local: u32) -> usize {
+        let l = local as usize;
+        self.in_offsets[l + 1] - self.in_offsets[l]
+    }
+
+    /// Iterates local masters as `(local_index, global_id)` pairs.
+    pub fn masters(&self) -> impl Iterator<Item = (u32, VertexId)> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(move |&(i, _)| self.is_master[i])
+            .map(|(i, &v)| (i as u32, v))
+    }
+}
+
+/// A graph partitioned across a simulated cluster: per-machine shards plus the global
+/// placement and degree tables the engine needs.
+#[derive(Clone, Debug)]
+pub struct PartitionedGraph {
+    num_vertices: usize,
+    num_edges: usize,
+    shards: Vec<Shard>,
+    placement: VertexPlacement,
+    /// Global out-degree of every vertex (the full graph's out-degree, which the random
+    /// walk transition probabilities are defined over).
+    out_degrees: Vec<u32>,
+    /// Name of the partitioner that produced this layout (for reports).
+    partitioner_name: &'static str,
+}
+
+impl PartitionedGraph {
+    /// Partitions `graph` across `num_machines` machines using `partitioner`.
+    ///
+    /// Master assignment follows PowerGraph: the master of a vertex is chosen by a
+    /// seed-derived hash among the machines holding a replica of that vertex (isolated
+    /// vertices are hashed across all machines).
+    pub fn build(
+        graph: &DiGraph,
+        num_machines: usize,
+        partitioner: &dyn Partitioner,
+        seed: u64,
+    ) -> Self {
+        let assignment = partitioner.assign(graph, num_machines, seed);
+        Self::from_assignment(graph, &assignment, partitioner.name(), seed)
+    }
+
+    /// Builds the partitioned layout from an explicit edge assignment.
+    pub fn from_assignment(
+        graph: &DiGraph,
+        assignment: &EdgeAssignment,
+        partitioner_name: &'static str,
+        seed: u64,
+    ) -> Self {
+        let n = graph.num_vertices();
+        let num_machines = assignment.num_machines;
+        assert_eq!(
+            assignment.machines.len(),
+            graph.num_edges(),
+            "assignment must cover every edge"
+        );
+
+        // --- replica sets -------------------------------------------------------
+        let mut replica_sets: Vec<Vec<MachineId>> = vec![Vec::new(); n];
+        let add_replica = |v: VertexId, m: MachineId, sets: &mut Vec<Vec<MachineId>>| {
+            let set = &mut sets[v as usize];
+            if !set.contains(&m) {
+                set.push(m);
+            }
+        };
+        for ((src, dst), &machine) in graph.edges().zip(assignment.machines.iter()) {
+            add_replica(src, machine, &mut replica_sets);
+            add_replica(dst, machine, &mut replica_sets);
+        }
+        // Isolated vertices (no edges at all) still need a home for their master.
+        for v in 0..n {
+            if replica_sets[v].is_empty() {
+                let m = MachineId::from(rng::pick_index(num_machines, &[seed, 0x150AA7ED, v as u64]));
+                replica_sets[v].push(m);
+            }
+        }
+        for set in &mut replica_sets {
+            set.sort_unstable();
+        }
+
+        // --- master assignment --------------------------------------------------
+        let master: Vec<MachineId> = (0..n)
+            .map(|v| {
+                let set = &replica_sets[v];
+                set[rng::pick_index(set.len(), &[seed, 0x4A57E2, v as u64])]
+            })
+            .collect();
+
+        let placement = VertexPlacement {
+            master,
+            replicas: replica_sets,
+        };
+
+        // --- shards -------------------------------------------------------------
+        // Local vertex tables per machine.
+        let mut shard_vertices: Vec<Vec<VertexId>> = vec![Vec::new(); num_machines];
+        for v in 0..n as VertexId {
+            for &m in placement.replicas(v) {
+                shard_vertices[m.index()].push(v);
+            }
+        }
+        let mut shards: Vec<Shard> = Vec::with_capacity(num_machines);
+        for m in 0..num_machines {
+            let vertices = std::mem::take(&mut shard_vertices[m]);
+            let global_to_local: HashMap<VertexId, u32> = vertices
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+            let is_master = vertices
+                .iter()
+                .map(|&v| placement.master(v).index() == m)
+                .collect();
+            shards.push(Shard {
+                machine: MachineId::from(m),
+                vertices,
+                global_to_local,
+                is_master,
+                out_offsets: Vec::new(),
+                out_targets_local: Vec::new(),
+                in_offsets: Vec::new(),
+                in_sources_local: Vec::new(),
+            });
+        }
+
+        // Local edges per machine, in local-index terms.
+        let mut local_edges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_machines];
+        for ((src, dst), &machine) in graph.edges().zip(assignment.machines.iter()) {
+            let shard = &shards[machine.index()];
+            let ls = shard.local_index(src).expect("source must have a replica");
+            let ld = shard.local_index(dst).expect("destination must have a replica");
+            local_edges[machine.index()].push((ls, ld));
+        }
+        for (m, edges) in local_edges.into_iter().enumerate() {
+            let num_local = shards[m].vertices.len();
+            let (out_offsets, out_targets_local) =
+                build_local_csr(num_local, edges.iter().map(|&(s, d)| (s, d)));
+            let (in_offsets, in_sources_local) =
+                build_local_csr(num_local, edges.iter().map(|&(s, d)| (d, s)));
+            let shard = &mut shards[m];
+            shard.out_offsets = out_offsets;
+            shard.out_targets_local = out_targets_local;
+            shard.in_offsets = in_offsets;
+            shard.in_sources_local = in_sources_local;
+        }
+
+        let out_degrees = (0..n as VertexId).map(|v| graph.out_degree(v) as u32).collect();
+
+        PartitionedGraph {
+            num_vertices: n,
+            num_edges: graph.num_edges(),
+            shards,
+            placement,
+            out_degrees,
+            partitioner_name,
+        }
+    }
+
+    /// Number of vertices in the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges in the underlying graph.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of machines in the cluster.
+    pub fn num_machines(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-machine shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard by machine id.
+    pub fn shard(&self, machine: MachineId) -> &Shard {
+        &self.shards[machine.index()]
+    }
+
+    /// Master/replica placement tables.
+    pub fn placement(&self) -> &VertexPlacement {
+        &self.placement
+    }
+
+    /// Global out-degree of a vertex (over the whole graph, not just local edges).
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out_degrees[v as usize]
+    }
+
+    /// Name of the partitioner that produced this layout.
+    pub fn partitioner_name(&self) -> &'static str {
+        self.partitioner_name
+    }
+
+    /// Consistency check used by tests: every edge appears on exactly one machine, every
+    /// endpoint of a local edge has a local replica, local degree sums match global
+    /// degrees, and the master of every vertex is one of its replicas.
+    pub fn validate(&self) -> Result<(), String> {
+        let total_local_edges: usize = self.shards.iter().map(|s| s.num_local_edges()).sum();
+        if total_local_edges != self.num_edges {
+            return Err(format!(
+                "local edges {} do not sum to global edge count {}",
+                total_local_edges, self.num_edges
+            ));
+        }
+        for v in 0..self.num_vertices as VertexId {
+            let master = self.placement.master(v);
+            if !self.placement.replicas(v).contains(&master) {
+                return Err(format!("master of vertex {v} is not among its replicas"));
+            }
+            let local_out_total: usize = self
+                .placement
+                .replicas(v)
+                .iter()
+                .map(|&m| {
+                    let shard = self.shard(m);
+                    shard
+                        .local_index(v)
+                        .map(|l| shard.local_out_degree(l))
+                        .unwrap_or(0)
+                })
+                .sum();
+            if local_out_total != self.out_degrees[v as usize] as usize {
+                return Err(format!(
+                    "vertex {v}: local out-degrees sum to {local_out_total}, global is {}",
+                    self.out_degrees[v as usize]
+                ));
+            }
+        }
+        for shard in &self.shards {
+            if shard.vertices.len() != shard.is_master.len() {
+                return Err(format!(
+                    "shard {} vertex/master table length mismatch",
+                    shard.machine
+                ));
+            }
+            for (i, &v) in shard.vertices.iter().enumerate() {
+                if shard.local_index(v) != Some(i as u32) {
+                    return Err(format!(
+                        "shard {}: lookup table inconsistent for vertex {v}",
+                        shard.machine
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counting-sort CSR over local indices.
+fn build_local_csr(
+    num_local: usize,
+    edges: impl Iterator<Item = (u32, u32)> + Clone,
+) -> (Vec<usize>, Vec<u32>) {
+    let mut degrees = vec![0usize; num_local];
+    let mut count = 0usize;
+    for (s, _) in edges.clone() {
+        degrees[s as usize] += 1;
+        count += 1;
+    }
+    let mut offsets = Vec::with_capacity(num_local + 1);
+    offsets.push(0);
+    let mut acc = 0;
+    for &d in &degrees {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut targets = vec![0u32; count];
+    let mut cursor = offsets[..num_local].to_vec();
+    for (s, d) in edges {
+        targets[cursor[s as usize]] = d;
+        cursor[s as usize] += 1;
+    }
+    (offsets, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{ObliviousPartitioner, RandomPartitioner};
+    use frogwild_graph::generators::simple::{complete, cycle, star};
+    use frogwild_graph::generators::{rmat, RmatParams};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_rmat() -> DiGraph {
+        let mut rng = SmallRng::seed_from_u64(77);
+        rmat(400, RmatParams::default(), &mut rng)
+    }
+
+    #[test]
+    fn partitioned_graph_is_consistent() {
+        let g = small_rmat();
+        for machines in [1usize, 4, 16] {
+            let pg = PartitionedGraph::build(&g, machines, &ObliviousPartitioner, 5);
+            assert_eq!(pg.num_machines(), machines);
+            assert_eq!(pg.num_vertices(), g.num_vertices());
+            assert_eq!(pg.num_edges(), g.num_edges());
+            pg.validate().expect("valid layout");
+        }
+    }
+
+    #[test]
+    fn random_partition_is_consistent_too() {
+        let g = small_rmat();
+        let pg = PartitionedGraph::build(&g, 8, &RandomPartitioner, 5);
+        pg.validate().expect("valid layout");
+        assert_eq!(pg.partitioner_name(), "random");
+    }
+
+    #[test]
+    fn single_machine_has_no_mirrors() {
+        let g = cycle(20);
+        let pg = PartitionedGraph::build(&g, 1, &ObliviousPartitioner, 1);
+        assert!((pg.placement().replication_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(pg.placement().total_mirrors(), 0);
+        for v in g.vertices() {
+            assert_eq!(pg.placement().mirrors(v).count(), 0);
+        }
+    }
+
+    #[test]
+    fn replication_factor_bounds() {
+        let g = small_rmat();
+        let pg = PartitionedGraph::build(&g, 8, &RandomPartitioner, 2);
+        let rf = pg.placement().replication_factor();
+        assert!(rf >= 1.0 && rf <= 8.0, "replication factor {rf}");
+    }
+
+    #[test]
+    fn high_degree_hub_is_replicated_widely() {
+        let g = star(200);
+        let pg = PartitionedGraph::build(&g, 8, &RandomPartitioner, 2);
+        // the hub touches every edge so it should be on (almost) every machine
+        assert!(pg.placement().replicas(0).len() >= 7);
+        // leaves have degree 2, so at most 2 replicas
+        for v in 1..200u32 {
+            assert!(pg.placement().replicas(v).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn masters_are_unique_and_on_replicas() {
+        let g = small_rmat();
+        let pg = PartitionedGraph::build(&g, 6, &ObliviousPartitioner, 3);
+        for v in g.vertices() {
+            let master = pg.placement().master(v);
+            assert!(pg.placement().replicas(v).contains(&master));
+            // exactly one shard flags it as master
+            let master_count = pg
+                .shards()
+                .iter()
+                .filter(|s| {
+                    s.local_index(v)
+                        .map(|l| s.is_master[l as usize])
+                        .unwrap_or(false)
+                })
+                .count();
+            assert_eq!(master_count, 1, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_get_a_master() {
+        let mut edges = vec![(0u32, 1u32), (1, 0)];
+        edges.push((2, 3));
+        edges.push((3, 2));
+        // vertex 4 is isolated
+        let g = DiGraph::from_edges(5, &edges);
+        let pg = PartitionedGraph::build(&g, 4, &RandomPartitioner, 9);
+        assert_eq!(pg.placement().replicas(4).len(), 1);
+        pg.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_local_edges_match_global_edges() {
+        let g = complete(12);
+        let pg = PartitionedGraph::build(&g, 4, &ObliviousPartitioner, 8);
+        // reconstruct the multiset of global edges from the shards
+        let mut reconstructed: Vec<(u32, u32)> = Vec::new();
+        for shard in pg.shards() {
+            for local in 0..shard.num_local_vertices() as u32 {
+                let src = shard.global_id(local);
+                for &dst_local in shard.local_out_neighbors(local) {
+                    reconstructed.push((src, shard.global_id(dst_local)));
+                }
+            }
+        }
+        reconstructed.sort_unstable();
+        let mut expected = g.edge_vec();
+        expected.sort_unstable();
+        assert_eq!(reconstructed, expected);
+    }
+
+    #[test]
+    fn local_in_and_out_edge_counts_agree() {
+        let g = small_rmat();
+        let pg = PartitionedGraph::build(&g, 5, &ObliviousPartitioner, 8);
+        for shard in pg.shards() {
+            let out_total: usize = (0..shard.num_local_vertices() as u32)
+                .map(|l| shard.local_out_degree(l))
+                .sum();
+            let in_total: usize = (0..shard.num_local_vertices() as u32)
+                .map(|l| shard.local_in_degree(l))
+                .sum();
+            assert_eq!(out_total, shard.num_local_edges());
+            assert_eq!(in_total, shard.num_local_edges());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = small_rmat();
+        let a = PartitionedGraph::build(&g, 8, &ObliviousPartitioner, 11);
+        let b = PartitionedGraph::build(&g, 8, &ObliviousPartitioner, 11);
+        assert_eq!(a.placement().replication_factor(), b.placement().replication_factor());
+        for v in g.vertices() {
+            assert_eq!(a.placement().master(v), b.placement().master(v));
+            assert_eq!(a.placement().replicas(v), b.placement().replicas(v));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic randomness helpers.
+//!
+//! Every random decision in the engine (synchronization coins, walker moves, edge
+//! placement hashes) is derived from the run seed, the superstep, the vertex and the
+//! machine through a small counter-mode hash. This makes the serial and the
+//! multi-threaded executor produce *identical* results: no decision depends on thread
+//! scheduling or on the order in which a machine happened to draw from a shared
+//! generator.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer — a cheap, well-mixed 64-bit hash used as the basis for all
+/// derived randomness.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes an arbitrary number of components into one 64-bit value.
+#[inline]
+pub fn mix(components: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64; // pi fraction, arbitrary non-zero start
+    for &c in components {
+        acc = splitmix64(acc ^ c);
+    }
+    acc
+}
+
+/// A uniform `f64` in `[0, 1)` derived from the mixed components.
+#[inline]
+pub fn uniform_from(components: &[u64]) -> f64 {
+    // 53 mantissa bits of the hash give a uniform double in [0, 1).
+    (mix(components) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A Bernoulli coin with success probability `p`, derived deterministically from the
+/// mixed components. Used for the per-mirror synchronization decision so both executors
+/// agree on which mirrors were skipped.
+#[inline]
+pub fn coin(p: f64, components: &[u64]) -> bool {
+    if p >= 1.0 {
+        return true;
+    }
+    if p <= 0.0 {
+        return false;
+    }
+    uniform_from(components) < p
+}
+
+/// A `SmallRng` whose seed is derived from the mixed components. Used wherever a
+/// sequence of draws is needed (e.g. splitting frogs across out-edges).
+pub fn derived_rng(components: &[u64]) -> SmallRng {
+    SmallRng::seed_from_u64(mix(components))
+}
+
+/// Picks an index in `0..n` deterministically from the components. Panics if `n == 0`.
+#[inline]
+pub fn pick_index(n: usize, components: &[u64]) -> usize {
+    assert!(n > 0, "cannot pick from an empty range");
+    (mix(components) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        // avalanche sanity: flipping one input bit flips many output bits
+        let a = splitmix64(0x1);
+        let b = splitmix64(0x3);
+        assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn mix_depends_on_all_components_and_order() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[1, 2, 4]));
+        assert_ne!(mix(&[1, 2]), mix(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        for i in 0..1000u64 {
+            let u = uniform_from(&[i, 7]);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_about_half() {
+        let n = 20_000u64;
+        let sum: f64 = (0..n).map(|i| uniform_from(&[i, 99])).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn coin_edge_cases() {
+        assert!(coin(1.0, &[1]));
+        assert!(coin(1.5, &[1]));
+        assert!(!coin(0.0, &[1]));
+        assert!(!coin(-0.5, &[1]));
+    }
+
+    #[test]
+    fn coin_frequency_matches_probability() {
+        let p = 0.3;
+        let n = 50_000u64;
+        let hits = (0..n).filter(|&i| coin(p, &[i, 1234])).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - p).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn derived_rng_is_reproducible() {
+        let mut a = derived_rng(&[5, 6]);
+        let mut b = derived_rng(&[5, 6]);
+        let va: Vec<u32> = (0..10).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = derived_rng(&[5, 7]);
+        let vc: Vec<u32> = (0..10).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn pick_index_in_range() {
+        for i in 0..100u64 {
+            let idx = pick_index(7, &[i]);
+            assert!(idx < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn pick_index_rejects_empty() {
+        let _ = pick_index(0, &[1]);
+    }
+}

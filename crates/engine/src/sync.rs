@@ -1,0 +1,141 @@
+//! Partial mirror synchronization — the paper's core engine modification.
+//!
+//! After `apply` updates a vertex's master state, PowerGraph pushes the new state to all
+//! mirrors at the superstep barrier. FrogWild's patch exposes a probability `p_s`: each
+//! mirror is synchronized independently with probability `p_s`, and mirrors that were
+//! not synchronized stay idle for the following scatter phase (their out-edges are
+//! effectively *erased* for one step — Appendix A's edge-erasure model).
+//!
+//! [`SyncPolicy`] captures the three behaviours used in the paper:
+//!
+//! * [`SyncPolicy::Full`] — unmodified PowerGraph (`p_s = 1`).
+//! * [`SyncPolicy::Independent`] — Example 9, every mirror flips an independent coin.
+//! * [`SyncPolicy::AtLeastOneOutEdge`] — Example 10 (the variant the paper's
+//!   implementation and experiments use): coins are independent, but if the resulting
+//!   participating set has no out-edges at all while the vertex does have out-edges,
+//!   one replica owning out-edges is force-synchronized so walkers are never stranded.
+
+use serde::{Deserialize, Serialize};
+
+/// Policy controlling which mirrors of an active vertex are synchronized each superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SyncPolicy {
+    /// Synchronize every mirror (the default PowerGraph behaviour, `p_s = 1`).
+    Full,
+    /// Synchronize each mirror independently with probability `ps` (Example 9).
+    /// Walkers on a vertex none of whose out-edge-owning replicas were synchronized are
+    /// stuck for that step (they scatter nothing and remain where they are).
+    Independent {
+        /// Per-mirror synchronization probability in `[0, 1]`.
+        ps: f64,
+    },
+    /// Like [`SyncPolicy::Independent`], but if no participating replica owns an
+    /// out-edge (and the vertex has out-edges), one out-edge-owning replica is
+    /// force-synchronized (Example 10, "At Least One Out-Edge Per Node").
+    AtLeastOneOutEdge {
+        /// Per-mirror synchronization probability in `[0, 1]`.
+        ps: f64,
+    },
+}
+
+impl SyncPolicy {
+    /// The synchronization probability this policy applies to each mirror.
+    pub fn probability(&self) -> f64 {
+        match *self {
+            SyncPolicy::Full => 1.0,
+            SyncPolicy::Independent { ps } | SyncPolicy::AtLeastOneOutEdge { ps } => ps,
+        }
+    }
+
+    /// `true` when the policy guarantees that a vertex with out-edges always has at
+    /// least one participating replica that owns out-edges.
+    pub fn guarantees_out_edge(&self) -> bool {
+        matches!(self, SyncPolicy::Full | SyncPolicy::AtLeastOneOutEdge { .. })
+    }
+
+    /// Validates the policy's probability.
+    pub fn validate(&self) -> Result<(), String> {
+        let p = self.probability();
+        if (0.0..=1.0).contains(&p) {
+            Ok(())
+        } else {
+            Err(format!("synchronization probability {p} outside [0, 1]"))
+        }
+    }
+
+    /// Convenience constructor matching the paper's description: the default
+    /// experiments use the at-least-one-out-edge model with the given `p_s`;
+    /// `p_s >= 1` short-circuits to full synchronization.
+    pub fn frogwild(ps: f64) -> Self {
+        if ps >= 1.0 {
+            SyncPolicy::Full
+        } else {
+            SyncPolicy::AtLeastOneOutEdge { ps }
+        }
+    }
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy::Full
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncPolicy::Full => write!(f, "full"),
+            SyncPolicy::Independent { ps } => write!(f, "independent(ps={ps})"),
+            SyncPolicy::AtLeastOneOutEdge { ps } => write!(f, "at-least-one(ps={ps})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_accessor() {
+        assert_eq!(SyncPolicy::Full.probability(), 1.0);
+        assert_eq!(SyncPolicy::Independent { ps: 0.4 }.probability(), 0.4);
+        assert_eq!(SyncPolicy::AtLeastOneOutEdge { ps: 0.1 }.probability(), 0.1);
+    }
+
+    #[test]
+    fn guarantees() {
+        assert!(SyncPolicy::Full.guarantees_out_edge());
+        assert!(SyncPolicy::AtLeastOneOutEdge { ps: 0.5 }.guarantees_out_edge());
+        assert!(!SyncPolicy::Independent { ps: 0.5 }.guarantees_out_edge());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SyncPolicy::Full.validate().is_ok());
+        assert!(SyncPolicy::Independent { ps: 0.0 }.validate().is_ok());
+        assert!(SyncPolicy::Independent { ps: 1.0 }.validate().is_ok());
+        assert!(SyncPolicy::Independent { ps: 1.5 }.validate().is_err());
+        assert!(SyncPolicy::AtLeastOneOutEdge { ps: -0.1 }.validate().is_err());
+    }
+
+    #[test]
+    fn frogwild_constructor_short_circuits_full() {
+        assert_eq!(SyncPolicy::frogwild(1.0), SyncPolicy::Full);
+        assert_eq!(
+            SyncPolicy::frogwild(0.4),
+            SyncPolicy::AtLeastOneOutEdge { ps: 0.4 }
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(SyncPolicy::Full.to_string(), "full");
+        assert_eq!(
+            SyncPolicy::Independent { ps: 0.7 }.to_string(),
+            "independent(ps=0.7)"
+        );
+        assert!(SyncPolicy::AtLeastOneOutEdge { ps: 0.1 }
+            .to_string()
+            .contains("at-least-one"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Erdős–Rényi random directed graphs.
+//!
+//! These are *not* good stand-ins for social graphs (their degree distribution is
+//! binomial, not heavy-tailed) but they are useful as a control: the paper's claim that
+//! a small number of frogs suffices hinges on the PageRank vector being skewed, and on
+//! an Erdős–Rényi graph the top-k mass is close to `k/n`, which the theory module's
+//! bound reflects.
+
+use crate::builder::{DanglingPolicy, GraphBuilder};
+use crate::csr::{DiGraph, VertexId};
+use rand::Rng;
+
+/// `G(n, p)`: every ordered pair `(i, j)`, `i != j`, is an edge independently with
+/// probability `p`. Dangling vertices are given self-loops.
+///
+/// Uses the geometric skipping method so the cost is `O(n + |E|)` rather than `O(n^2)`
+/// for sparse graphs.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!(n > 0, "gnp requires at least one vertex");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut b = GraphBuilder::new(n);
+    if p > 0.0 {
+        if p >= 1.0 {
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        b.add_edge_unchecked(s as VertexId, d as VertexId);
+                    }
+                }
+            }
+        } else {
+            // Geometric skipping over the flattened n*(n-1) possible edges.
+            let total = (n as u64) * (n as u64 - 1);
+            let log_q = (1.0 - p).ln();
+            let mut idx: u64 = 0;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let skip = (u.ln() / log_q).floor() as u64;
+                idx = idx.saturating_add(skip);
+                if idx >= total {
+                    break;
+                }
+                let s = (idx / (n as u64 - 1)) as usize;
+                let mut d = (idx % (n as u64 - 1)) as usize;
+                if d >= s {
+                    d += 1; // skip the diagonal
+                }
+                b.add_edge_unchecked(s as VertexId, d as VertexId);
+                idx += 1;
+            }
+        }
+    }
+    b.dangling_policy(DanglingPolicy::SelfLoop).build().unwrap()
+}
+
+/// `G(n, m)`: exactly `m` edges sampled uniformly (with replacement, then deduplicated,
+/// so the result has *at most* `m` distinct edges). Dangling vertices get self-loops.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    assert!(n > 0, "gnm requires at least one vertex");
+    let mut b = GraphBuilder::new(n).with_edge_capacity(m);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n) as VertexId;
+        let mut d = rng.gen_range(0..n) as VertexId;
+        if n > 1 {
+            while d == s {
+                d = rng.gen_range(0..n) as VertexId;
+            }
+        }
+        b.add_edge_unchecked(s, d);
+    }
+    b.dedup(true)
+        .dangling_policy(DanglingPolicy::SelfLoop)
+        .build()
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_edge_count_close_to_expectation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 500;
+        let p = 0.02;
+        let g = gnp(n, p, &mut rng);
+        let expected = (n * (n - 1)) as f64 * p;
+        let actual = g.num_edges() as f64;
+        // within 20% of expectation (plus a handful of self-loops for dangling fix-up)
+        assert!(
+            (actual - expected).abs() < 0.2 * expected + 20.0,
+            "expected ~{expected}, got {actual}"
+        );
+        assert!(g.has_no_dangling());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnp_zero_probability_gives_only_self_loops() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gnp(10, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 10);
+        for v in g.vertices() {
+            assert!(g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn gnp_full_probability_gives_complete_graph() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gnp(6, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn gnm_respects_edge_budget() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gnm(100, 400, &mut rng);
+        // dedup may remove a few, dangling fix-up may add a few
+        assert!(g.num_edges() <= 400 + 100);
+        assert!(g.num_edges() >= 300);
+        assert!(g.has_no_dangling());
+    }
+
+    #[test]
+    fn gnm_single_vertex_graph() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gnm(1, 3, &mut rng);
+        assert_eq!(g.num_vertices(), 1);
+        // all sampled edges collapse to the 0->0 self-loop after dedup
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn gnp_reproducible() {
+        let a = gnp(200, 0.05, &mut SmallRng::seed_from_u64(9));
+        let b = gnp(200, 0.05, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gnp_rejects_bad_probability() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = gnp(10, 1.5, &mut rng);
+    }
+}

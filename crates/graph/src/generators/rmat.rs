@@ -1,0 +1,231 @@
+//! R-MAT (recursive matrix) / stochastic-Kronecker graph generator.
+//!
+//! R-MAT recursively subdivides the adjacency matrix into quadrants and drops each edge
+//! into quadrant `a`/`b`/`c`/`d` with the configured probabilities. With the usual skewed
+//! parameters (`a` ≫ `d`) this yields heavy-tailed in- and out-degree distributions very
+//! similar to web and social graphs, which is why Graph500 and the PowerGraph paper use
+//! it for synthetic scaling studies. We use it here to stand in for the Twitter and
+//! LiveJournal graphs of the paper's evaluation (see DESIGN.md §2).
+
+use crate::builder::{DanglingPolicy, GraphBuilder};
+use crate::csr::{DiGraph, VertexId};
+use rand::Rng;
+
+/// Parameters of the R-MAT recursion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (edges among "popular" vertices).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Average number of edges per vertex (the generator draws
+    /// `edge_factor * num_vertices` edges before deduplication of exact duplicates is
+    /// *not* applied — parallel edges are kept, as in the raw Graph500 output).
+    pub edge_factor: f64,
+    /// Noise added to the quadrant probabilities at every recursion level, which avoids
+    /// the artificial "staircase" degree distribution of noiseless R-MAT.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        // Graph500 defaults.
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            edge_factor: 16.0,
+            noise: 0.05,
+        }
+    }
+}
+
+impl RmatParams {
+    /// The implied probability of the bottom-right quadrant.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Checks that the quadrant probabilities form a distribution and the edge factor is
+    /// positive.
+    pub fn validate(&self) -> Result<(), String> {
+        let d = self.d();
+        if self.a < 0.0 || self.b < 0.0 || self.c < 0.0 || d < -1e-9 {
+            return Err(format!(
+                "quadrant probabilities must be non-negative (a={}, b={}, c={}, d={})",
+                self.a, self.b, self.c, d
+            ));
+        }
+        if self.edge_factor <= 0.0 {
+            return Err("edge_factor must be positive".to_string());
+        }
+        if !(0.0..0.5).contains(&self.noise) {
+            return Err("noise must be in [0, 0.5)".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Generates an R-MAT graph with `num_vertices` vertices (rounded up internally to a
+/// power of two for the recursion, then mapped back down by rejection) and roughly
+/// `edge_factor * num_vertices` directed edges. Dangling vertices receive self-loops.
+pub fn rmat<R: Rng>(num_vertices: usize, params: RmatParams, rng: &mut R) -> DiGraph {
+    assert!(num_vertices > 0, "rmat requires at least one vertex");
+    params.validate().expect("invalid R-MAT parameters");
+
+    let scale = (num_vertices as f64).log2().ceil().max(1.0) as u32;
+    let padded = 1usize << scale;
+    let num_edges = (params.edge_factor * num_vertices as f64).round() as usize;
+
+    let mut b = GraphBuilder::new(num_vertices).with_edge_capacity(num_edges);
+    let mut generated = 0usize;
+    // Rejection sampling: the recursion works on the padded power-of-two id space; edges
+    // that land outside the real vertex range are re-drawn. For typical sizes the
+    // acceptance rate is >= 25% (both endpoints), so this terminates quickly.
+    let mut attempts = 0usize;
+    let max_attempts = num_edges.saturating_mul(40).max(1_000);
+    while generated < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (src, dst) = sample_edge(scale, padded, &params, rng);
+        if src < num_vertices && dst < num_vertices && src != dst {
+            b.add_edge_unchecked(src as VertexId, dst as VertexId);
+            generated += 1;
+        }
+    }
+    b.dangling_policy(DanglingPolicy::SelfLoop).build().unwrap()
+}
+
+/// Draws one edge by descending `scale` levels of the recursion.
+fn sample_edge<R: Rng>(
+    scale: u32,
+    padded: usize,
+    params: &RmatParams,
+    rng: &mut R,
+) -> (usize, usize) {
+    debug_assert!(padded == 1usize << scale);
+    let mut src = 0usize;
+    let mut dst = 0usize;
+    let mut half = padded >> 1;
+    for _ in 0..scale {
+        // Per-level multiplicative noise keeps the degree distribution smooth.
+        let jitter = |p: f64, rng: &mut R| -> f64 {
+            let factor = 1.0 + params.noise * (2.0 * rng.gen::<f64>() - 1.0);
+            (p * factor).max(0.0)
+        };
+        let a = jitter(params.a, rng);
+        let b = jitter(params.b, rng);
+        let c = jitter(params.c, rng);
+        let d = jitter(params.d().max(0.0), rng);
+        let total = a + b + c + d;
+        let r = rng.gen::<f64>() * total;
+        let (down, right) = if r < a {
+            (false, false)
+        } else if r < a + b {
+            (false, true)
+        } else if r < a + b + c {
+            (true, false)
+        } else {
+            (true, true)
+        };
+        if down {
+            src += half;
+        }
+        if right {
+            dst += half;
+        }
+        half >>= 1;
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_params_are_valid() {
+        assert!(RmatParams::default().validate().is_ok());
+        assert!((RmatParams::default().d() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let p = RmatParams {
+            a: 0.8,
+            b: 0.3,
+            c: 0.3,
+            ..RmatParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = RmatParams {
+            edge_factor: 0.0,
+            ..RmatParams::default()
+        };
+        assert!(p.validate().is_err());
+        let p = RmatParams {
+            noise: 0.9,
+            ..RmatParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn generates_requested_scale() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        let n = 1_000;
+        let g = rmat(n, RmatParams::default(), &mut rng);
+        assert_eq!(g.num_vertices(), n);
+        let avg = g.num_edges() as f64 / n as f64;
+        assert!(avg > 10.0 && avg < 20.0, "avg degree {avg}");
+        assert!(g.has_no_dangling());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(321);
+        let n = 4_000;
+        let g = rmat(n, RmatParams::default(), &mut rng);
+        let mut in_degrees: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
+        in_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let avg = g.num_edges() as f64 / n as f64;
+        // The heaviest vertex should collect far more than the average in-degree, and
+        // a large fraction of vertices should sit below the average (skew).
+        assert!(in_degrees[0] as f64 > 8.0 * avg);
+        let below = in_degrees.iter().filter(|&&d| (d as f64) < avg).count();
+        assert!(below as f64 > 0.55 * n as f64);
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let g1 = rmat(300, RmatParams::default(), &mut SmallRng::seed_from_u64(5));
+        let g2 = rmat(300, RmatParams::default(), &mut SmallRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn works_for_tiny_graphs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = rmat(2, RmatParams::default(), &mut rng);
+        assert_eq!(g.num_vertices(), 2);
+        assert!(g.has_no_dangling());
+        let g = rmat(1, RmatParams::default(), &mut rng);
+        assert_eq!(g.num_vertices(), 1);
+    }
+
+    #[test]
+    fn no_self_loops_except_dangling_fixups() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = rmat(500, RmatParams::default(), &mut rng);
+        for v in g.vertices() {
+            if g.has_edge(v, v) {
+                // a self-loop may only exist if it was added as the sole out-edge
+                assert_eq!(g.out_degree(v), 1, "vertex {v} has a spurious self-loop");
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! SNAP-style edge-list input and output.
+//!
+//! The paper's datasets (LiveJournal `soc-LiveJournal1.txt`, Twitter `twitter-2010.txt`)
+//! are distributed as whitespace-separated `src dst` edge lists with `#`-prefixed
+//! comment lines. These readers accept that format so the real datasets can be used with
+//! the experiment harness without modification; the writers emit the same format so
+//! generated graphs can be shared with external tools (including the original GraphLab
+//! implementation).
+
+use crate::builder::{DanglingPolicy, GraphBuilder};
+use crate::csr::{DiGraph, VertexId};
+use crate::{GraphError, Result};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Options controlling how an edge list is interpreted.
+#[derive(Clone, Debug)]
+pub struct EdgeListOptions {
+    /// Collapse duplicate edges (default: `true`, matching GraphLab ingress behaviour).
+    pub dedup: bool,
+    /// Drop self-loops found in the input (default: `false`).
+    pub remove_self_loops: bool,
+    /// What to do with vertices that have no outgoing edges after loading.
+    pub dangling: DanglingPolicy,
+    /// If `true`, vertex ids are re-mapped to a dense `0..n` range in order of first
+    /// appearance; if `false` the ids are used verbatim and the vertex count is
+    /// `max_id + 1` (default: `true` — SNAP files frequently have sparse id spaces).
+    pub relabel: bool,
+}
+
+impl Default for EdgeListOptions {
+    fn default() -> Self {
+        EdgeListOptions {
+            dedup: true,
+            remove_self_loops: false,
+            dangling: DanglingPolicy::SelfLoop,
+            relabel: true,
+        }
+    }
+}
+
+/// Reads an edge list from any `Read` implementation.
+///
+/// Returns the graph together with the relabeling table (`original_id -> dense_id`)
+/// when `relabel` is enabled (the table is empty otherwise).
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    options: &EdgeListOptions,
+) -> Result<(DiGraph, HashMap<u64, VertexId>)> {
+    let reader = BufReader::new(reader);
+    let mut raw_edges: Vec<(u64, u64)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let src = parts.next();
+        let dst = parts.next();
+        match (src, dst) {
+            (Some(s), Some(d)) => {
+                let s: u64 = s.parse().map_err(|_| GraphError::Parse {
+                    line: idx + 1,
+                    content: line.clone(),
+                })?;
+                let d: u64 = d.parse().map_err(|_| GraphError::Parse {
+                    line: idx + 1,
+                    content: line.clone(),
+                })?;
+                raw_edges.push((s, d));
+            }
+            _ => {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    content: line,
+                })
+            }
+        }
+    }
+
+    let mut mapping: HashMap<u64, VertexId> = HashMap::new();
+    let edges: Vec<(VertexId, VertexId)>;
+    let num_vertices: usize;
+    if options.relabel {
+        edges = raw_edges
+            .iter()
+            .map(|&(s, d)| {
+                let next = mapping.len() as VertexId;
+                let si = *mapping.entry(s).or_insert(next);
+                let next = mapping.len() as VertexId;
+                let di = *mapping.entry(d).or_insert(next);
+                (si, di)
+            })
+            .collect();
+        num_vertices = mapping.len();
+    } else {
+        let max_id = raw_edges.iter().map(|&(s, d)| s.max(d)).max().unwrap_or(0);
+        if max_id >= VertexId::MAX as u64 {
+            return Err(GraphError::VertexOutOfBounds {
+                vertex: max_id,
+                num_vertices: VertexId::MAX as u64,
+            });
+        }
+        edges = raw_edges
+            .iter()
+            .map(|&(s, d)| (s as VertexId, d as VertexId))
+            .collect();
+        num_vertices = if raw_edges.is_empty() {
+            0
+        } else {
+            max_id as usize + 1
+        };
+    }
+
+    let mut builder = GraphBuilder::new(num_vertices).with_edge_capacity(edges.len());
+    builder.extend_edges(edges)?;
+    let graph = builder
+        .dedup(options.dedup)
+        .remove_self_loops(options.remove_self_loops)
+        .dangling_policy(options.dangling)
+        .build()?;
+    Ok((graph, mapping))
+}
+
+/// Reads an edge list from a file path. See [`read_edge_list`].
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+    options: &EdgeListOptions,
+) -> Result<(DiGraph, HashMap<u64, VertexId>)> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, options)
+}
+
+/// Writes the graph as a SNAP-style edge list, one `src\tdst` pair per line, preceded by
+/// a comment header with the vertex and edge counts.
+pub fn write_edge_list<W: Write>(graph: &DiGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# Directed graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    writeln!(w, "# FromNodeId\tToNodeId")?;
+    for (s, d) in graph.edges() {
+        writeln!(w, "{s}\t{d}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph to a file path. See [`write_edge_list`].
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &DiGraph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# FromNodeId\tToNodeId
+0\t1
+0\t2
+1\t2
+2\t0
+";
+
+    #[test]
+    fn reads_snap_format_with_comments() {
+        let (g, map) = read_edge_list(SAMPLE.as_bytes(), &EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(map.len(), 3);
+        assert!(g.has_no_dangling());
+    }
+
+    #[test]
+    fn relabeling_densifies_sparse_ids() {
+        let input = "100 200\n200 300\n300 100\n";
+        let (g, map) = read_edge_list(input.as_bytes(), &EdgeListOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(map[&100], 0);
+        assert_eq!(map[&200], 1);
+        assert_eq!(map[&300], 2);
+    }
+
+    #[test]
+    fn no_relabel_uses_max_id() {
+        let input = "0 5\n5 0\n";
+        let options = EdgeListOptions {
+            relabel: false,
+            ..EdgeListOptions::default()
+        };
+        let (g, map) = read_edge_list(input.as_bytes(), &options).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert!(map.is_empty());
+        // vertices 1..5 were dangling and received self-loops
+        assert!(g.has_no_dangling());
+    }
+
+    #[test]
+    fn dedup_option_controls_duplicates() {
+        let input = "0 1\n0 1\n1 0\n";
+        let with_dedup = read_edge_list(input.as_bytes(), &EdgeListOptions::default())
+            .unwrap()
+            .0;
+        assert_eq!(with_dedup.num_edges(), 2);
+        let no_dedup = read_edge_list(
+            input.as_bytes(),
+            &EdgeListOptions {
+                dedup: false,
+                ..EdgeListOptions::default()
+            },
+        )
+        .unwrap()
+        .0;
+        assert_eq!(no_dedup.num_edges(), 3);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let input = "0 1\nnot-an-edge\n";
+        let err = read_edge_list(input.as_bytes(), &EdgeListOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_destination_reports_parse_error() {
+        let input = "0\n";
+        let err = read_edge_list(input.as_bytes(), &EdgeListOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let (g, _) = read_edge_list("# only comments\n".as_bytes(), &EdgeListOptions::default())
+            .unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let g = crate::generators::simple::star(6);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let options = EdgeListOptions {
+            relabel: false,
+            dedup: false,
+            ..EdgeListOptions::default()
+        };
+        let (g2, _) = read_edge_list(buf.as_slice(), &options).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = crate::generators::simple::cycle(5);
+        let dir = std::env::temp_dir().join("frogwild_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cycle5.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let options = EdgeListOptions {
+            relabel: false,
+            dedup: false,
+            ..EdgeListOptions::default()
+        };
+        let (g2, _) = read_edge_list_file(&path, &options).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,216 @@
+//! Whole-graph transforms: dangling fix-up, reversal, induced subgraphs, and
+//! weakly-connected-component analysis.
+//!
+//! These are the pre-processing steps a user would run after loading a raw edge list and
+//! before handing the graph to the engine (the paper's ingress stage does the
+//! equivalent inside GraphLab).
+
+use crate::builder::{DanglingPolicy, GraphBuilder};
+use crate::csr::{DiGraph, VertexId};
+
+/// Returns a copy of the graph where every dangling vertex (out-degree zero) has been
+/// given a self-loop. Graphs without dangling vertices are returned unchanged (cheap
+/// clone of the CSR arrays).
+pub fn fix_dangling_with_self_loops(graph: &DiGraph) -> DiGraph {
+    if graph.has_no_dangling() {
+        return graph.clone();
+    }
+    let mut edges = graph.edge_vec();
+    for v in graph.dangling_vertices() {
+        edges.push((v, v));
+    }
+    DiGraph::from_edges(graph.num_vertices(), &edges)
+}
+
+/// Returns a copy of the graph with duplicate edges collapsed and (optionally)
+/// self-loops removed.
+pub fn simplify(graph: &DiGraph, remove_self_loops: bool) -> DiGraph {
+    let mut b = GraphBuilder::new(graph.num_vertices()).with_edge_capacity(graph.num_edges());
+    for (s, d) in graph.edges() {
+        b.add_edge_unchecked(s, d);
+    }
+    b.dedup(true)
+        .remove_self_loops(remove_self_loops)
+        .dangling_policy(DanglingPolicy::Keep)
+        .build()
+        .unwrap()
+}
+
+/// The subgraph induced by `vertices`. Vertex ids are re-mapped densely in the order
+/// given; the mapping `new_id -> old_id` is returned alongside the subgraph. Dangling
+/// vertices created by the restriction receive self-loops so the result is always a
+/// valid PageRank input.
+pub fn induced_subgraph(graph: &DiGraph, vertices: &[VertexId]) -> (DiGraph, Vec<VertexId>) {
+    let mut new_id = vec![VertexId::MAX; graph.num_vertices()];
+    for (i, &v) in vertices.iter().enumerate() {
+        assert!(
+            (v as usize) < graph.num_vertices(),
+            "vertex {v} out of bounds"
+        );
+        new_id[v as usize] = i as VertexId;
+    }
+    let mut b = GraphBuilder::new(vertices.len());
+    for &v in vertices {
+        let sv = new_id[v as usize];
+        for &d in graph.out_neighbors(v) {
+            let dv = new_id[d as usize];
+            if dv != VertexId::MAX {
+                b.add_edge_unchecked(sv, dv);
+            }
+        }
+    }
+    let sub = b
+        .dedup(true)
+        .dangling_policy(DanglingPolicy::SelfLoop)
+        .build()
+        .unwrap();
+    (sub, vertices.to_vec())
+}
+
+/// Labels of the weakly connected component of every vertex (edges treated as
+/// undirected). Labels are arbitrary but dense in `0..num_components`.
+pub fn weakly_connected_components(graph: &DiGraph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut next_label = 0u32;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = next_label;
+        stack.push(start as VertexId);
+        while let Some(v) = stack.pop() {
+            for &u in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = next_label;
+                    stack.push(u);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    label
+}
+
+/// Number of weakly connected components.
+pub fn num_weakly_connected_components(graph: &DiGraph) -> usize {
+    weakly_connected_components(graph)
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0)
+}
+
+/// The vertices of the largest weakly connected component, in ascending id order.
+pub fn largest_weakly_connected_component(graph: &DiGraph) -> Vec<VertexId> {
+    let labels = weakly_connected_components(graph);
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    let num = labels.iter().copied().max().unwrap() as usize + 1;
+    let mut counts = vec![0usize; num];
+    for &l in &labels {
+        counts[l as usize] += 1;
+    }
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l == best)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::simple::{cycle, two_communities};
+
+    #[test]
+    fn fix_dangling_adds_self_loops_only_where_needed() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0)]);
+        let fixed = fix_dangling_with_self_loops(&g);
+        assert!(fixed.has_no_dangling());
+        assert!(fixed.has_edge(2, 2));
+        assert_eq!(fixed.num_edges(), 3);
+        // untouched graphs come back equal
+        let c = cycle(4);
+        assert_eq!(fix_dangling_with_self_loops(&c), c);
+    }
+
+    #[test]
+    fn simplify_removes_duplicates_and_loops() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (1, 2), (2, 0)]);
+        let s = simplify(&g, true);
+        assert_eq!(s.num_edges(), 3);
+        assert!(!s.has_edge(1, 1));
+        let s2 = simplify(&g, false);
+        assert_eq!(s2.num_edges(), 4);
+        assert!(s2.has_edge(1, 1));
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = two_communities(3); // vertices 0..3 and 3..6
+        let (sub, mapping) = induced_subgraph(&g, &[3, 4, 5]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(mapping, vec![3, 4, 5]);
+        // community B was complete on 3 vertices: 6 edges
+        assert_eq!(sub.num_edges(), 6);
+        assert!(sub.has_no_dangling());
+    }
+
+    #[test]
+    fn induced_subgraph_fixes_created_dangling() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let (sub, _) = induced_subgraph(&g, &[0, 1]);
+        // vertex 1's only edge (to 2) was cut; it must get a self-loop
+        assert!(sub.has_edge(1, 1));
+        assert!(sub.has_no_dangling());
+    }
+
+    #[test]
+    fn wcc_on_connected_graph_is_single_component() {
+        let g = cycle(10);
+        assert_eq!(num_weakly_connected_components(&g), 1);
+        let labels = weakly_connected_components(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn wcc_counts_isolated_vertices() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 0)]);
+        // {0,1} is one component, 2, 3, 4 are isolated
+        assert_eq!(num_weakly_connected_components(&g), 4);
+    }
+
+    #[test]
+    fn wcc_treats_direction_as_irrelevant() {
+        // 0 -> 1 and 2 -> 1: weakly connected even though not strongly
+        let g = DiGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        assert_eq!(num_weakly_connected_components(&g), 1);
+    }
+
+    #[test]
+    fn largest_component_found() {
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        edges.push((3, 4));
+        let g = DiGraph::from_edges(6, &edges);
+        let comp = largest_weakly_connected_component(&g);
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let g = DiGraph::empty(0);
+        assert!(largest_weakly_connected_component(&g).is_empty());
+        assert_eq!(num_weakly_connected_components(&g), 0);
+    }
+}

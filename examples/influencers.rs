@@ -1,0 +1,122 @@
+//! Growing loyalty of influential customers (the paper's first motivating application).
+//!
+//! A telecom company wants to find its top-k most influential customers from the call
+//! graph so it can invest a limited retention budget where it matters most. The call
+//! graph changes daily, so the full PageRank vector is never needed — only a quick,
+//! cheap estimate of the heavy hitters.
+//!
+//! This example builds a synthetic call graph with a planted "influencer" structure
+//! (a small set of accounts that receive calls from everywhere), runs FrogWild at
+//! several synchronization levels, and reports how much of the influencer set each
+//! setting recovers and at what network cost.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example influencers
+//! ```
+
+use frogwild::prelude::*;
+use frogwild_graph::{DanglingPolicy, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of customers in the synthetic call graph.
+const CUSTOMERS: usize = 30_000;
+/// Number of planted influencers.
+const INFLUENCERS: usize = 40;
+/// Calls placed per ordinary customer.
+const CALLS_PER_CUSTOMER: usize = 12;
+
+/// Builds a call graph: every customer calls a dozen random contacts, and a third of
+/// all customers additionally call one of the planted influencers (support lines,
+/// community organisers, popular businesses).
+fn build_call_graph(rng: &mut SmallRng) -> DiGraph {
+    let mut builder = GraphBuilder::new(CUSTOMERS).with_edge_capacity(CUSTOMERS * (CALLS_PER_CUSTOMER + 1));
+    for customer in 0..CUSTOMERS as u32 {
+        for _ in 0..CALLS_PER_CUSTOMER {
+            let callee = rng.gen_range(0..CUSTOMERS) as u32;
+            if callee != customer {
+                builder.add_edge_unchecked(customer, callee);
+            }
+        }
+        if rng.gen::<f64>() < 0.33 {
+            let influencer = rng.gen_range(0..INFLUENCERS) as u32;
+            if influencer != customer {
+                builder.add_edge_unchecked(customer, influencer);
+            }
+        }
+    }
+    builder
+        .dedup(true)
+        .dangling_policy(DanglingPolicy::SelfLoop)
+        .build()
+        .expect("valid call graph")
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let graph = build_call_graph(&mut rng);
+    println!(
+        "call graph: {} customers, {} call edges, {} planted influencers",
+        graph.num_vertices(),
+        graph.num_edges(),
+        INFLUENCERS
+    );
+
+    // Ground truth: exact PageRank on the call graph.
+    let truth = exact_pagerank(&graph, 0.15, 200, 1e-12);
+    let true_top: Vec<VertexId> = top_k(&truth.scores, INFLUENCERS);
+    let planted_found = true_top.iter().filter(|&&v| (v as usize) < INFLUENCERS).count();
+    println!(
+        "exact PageRank already places {planted_found}/{INFLUENCERS} planted influencers in its top-{INFLUENCERS}"
+    );
+
+    let cluster = ClusterConfig::new(20, 11);
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>14} {:>14}",
+        "setting", "mass@40", "exact id@40", "net bytes", "sim time (s)"
+    );
+
+    // Sweep the synchronization probability like Figure 2 of the paper.
+    for ps in [1.0, 0.7, 0.4, 0.1] {
+        let config = FrogWildConfig {
+            num_walkers: 150_000,
+            iterations: 4,
+            sync_probability: ps,
+            ..FrogWildConfig::default()
+        };
+        let report = run_frogwild(&graph, &cluster, &config);
+        let mass = mass_captured(&report.estimate, &truth.scores, INFLUENCERS);
+        let ident = exact_identification(&report.estimate, &truth.scores, INFLUENCERS);
+        println!(
+            "{:<22} {:>12.4} {:>12.4} {:>14} {:>14.4}",
+            format!("FrogWild ps={ps}"),
+            mass.normalized(),
+            ident,
+            report.cost.network_bytes,
+            report.cost.simulated_total_seconds,
+        );
+    }
+
+    // Baseline: the standard approach of running a couple of PageRank iterations.
+    for iters in [1usize, 2] {
+        let report = run_graphlab_pr(&graph, &cluster, &PageRankConfig::truncated(iters));
+        let mass = mass_captured(&report.estimate, &truth.scores, INFLUENCERS);
+        let ident = exact_identification(&report.estimate, &truth.scores, INFLUENCERS);
+        println!(
+            "{:<22} {:>12.4} {:>12.4} {:>14} {:>14.4}",
+            format!("GraphLab PR {iters} iters"),
+            mass.normalized(),
+            ident,
+            report.cost.network_bytes,
+            report.cost.simulated_total_seconds,
+        );
+    }
+
+    println!(
+        "\nInterpretation: FrogWild reaches comparable accuracy to 2-iteration PageRank while \
+         sending a fraction of the bytes, and lowering p_s trades a little accuracy for \
+         proportionally less traffic — the paper's Figure 2/3 trade-off on a call-graph workload."
+    );
+}

@@ -1,0 +1,147 @@
+//! Key-user identification in an online social network (the paper's third motivating
+//! application, after Heidemann et al.).
+//!
+//! To predict which users will stay active, [19] ranks users by PageRank over a
+//! *mixture* of the connectivity graph (who follows whom) and the activity graph (who
+//! interacted with whom recently). The activity graph changes constantly, so the
+//! ranking must be recomputed often — and only the top slice of users is ever acted on,
+//! which again is FrogWild's regime.
+//!
+//! This example builds both graphs synthetically, mixes them with a configurable
+//! weight, and compares FrogWild against truncated PageRank on the mixed graph across a
+//! sweep of cluster sizes (the shape of the paper's Figure 1).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example osn_churn
+//! ```
+
+use frogwild::prelude::*;
+use frogwild_graph::generators::{rmat, RmatParams};
+use frogwild_graph::{DanglingPolicy, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Users in the synthetic network.
+const USERS: usize = 40_000;
+/// Fraction of users active in the recent window.
+const ACTIVE_FRACTION: f64 = 0.3;
+/// Weight of the activity graph in the mixture (the rest comes from connectivity).
+const ACTIVITY_WEIGHT: f64 = 0.6;
+
+/// Builds the mixed connectivity + activity graph.
+///
+/// Connectivity: a heavy-tailed follower graph (R-MAT). Activity: interactions among a
+/// random 30% subset of users, biased towards users that are already well connected
+/// (active users mention popular accounts). The mixture duplicates edges from each
+/// source in proportion to its weight, which is how a weighted PageRank is realised on
+/// an unweighted engine.
+fn build_mixed_graph(rng: &mut SmallRng) -> DiGraph {
+    let connectivity = rmat(
+        USERS,
+        RmatParams {
+            edge_factor: 12.0,
+            ..RmatParams::default()
+        },
+        rng,
+    );
+
+    // Activity edges: active users interact with a few targets, preferring high
+    // in-degree accounts from the connectivity graph.
+    let mut active_users: Vec<u32> = (0..USERS as u32)
+        .filter(|_| rng.gen::<f64>() < ACTIVE_FRACTION)
+        .collect();
+    if active_users.is_empty() {
+        active_users.push(0);
+    }
+    let popular: Vec<u32> = {
+        let mut by_in_degree: Vec<u32> = (0..USERS as u32).collect();
+        by_in_degree.sort_unstable_by_key(|&v| std::cmp::Reverse(connectivity.in_degree(v)));
+        by_in_degree.truncate(USERS / 100);
+        by_in_degree
+    };
+
+    let connectivity_copies = (((1.0 - ACTIVITY_WEIGHT) * 10.0).round() as usize).max(1);
+    let activity_copies = ((ACTIVITY_WEIGHT * 10.0).round() as usize).max(1);
+
+    let mut builder = GraphBuilder::new(USERS)
+        .with_edge_capacity(connectivity.num_edges() * connectivity_copies + active_users.len() * 8);
+    for (src, dst) in connectivity.edges() {
+        for _ in 0..connectivity_copies {
+            builder.add_edge_unchecked(src, dst);
+        }
+    }
+    for &user in &active_users {
+        for _ in 0..4 {
+            let target = if rng.gen::<f64>() < 0.5 {
+                popular[rng.gen_range(0..popular.len())]
+            } else {
+                active_users[rng.gen_range(0..active_users.len())]
+            };
+            if target != user {
+                for _ in 0..activity_copies {
+                    builder.add_edge_unchecked(user, target);
+                }
+            }
+        }
+    }
+    builder
+        .dangling_policy(DanglingPolicy::SelfLoop)
+        .build()
+        .expect("valid mixed graph")
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let graph = build_mixed_graph(&mut rng);
+    println!(
+        "mixed connectivity/activity graph: {} users, {} weighted edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let truth = exact_pagerank(&graph, 0.15, 150, 1e-10);
+    let k = 200; // the "key users" a marketing team would actually target
+
+    println!(
+        "\n{:<10} {:<22} {:>10} {:>14} {:>16} {:>14}",
+        "machines", "algorithm", "mass@200", "iter time (s)", "net bytes", "cpu (s)"
+    );
+    for machines in [12usize, 16, 20, 24] {
+        let cluster = ClusterConfig::new(machines, 5);
+        let pg = frogwild::driver::partition_graph(&graph, &cluster);
+
+        let frogwild_report = frogwild::driver::run_frogwild_on(
+            &pg,
+            &FrogWildConfig {
+                num_walkers: 200_000,
+                iterations: 4,
+                sync_probability: 0.4,
+                ..FrogWildConfig::default()
+            },
+        );
+        let pr_report =
+            frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2));
+
+        for report in [&frogwild_report, &pr_report] {
+            let mass = mass_captured(&report.estimate, &truth.scores, k);
+            println!(
+                "{:<10} {:<22} {:>10.4} {:>14.4} {:>16} {:>14.4}",
+                machines,
+                report.algorithm.split(" walkers").next().unwrap_or(&report.algorithm),
+                mass.normalized(),
+                report.cost.simulated_seconds_per_iteration,
+                report.cost.network_bytes,
+                report.cost.simulated_cpu_seconds,
+            );
+        }
+    }
+
+    println!(
+        "\nInterpretation: across cluster sizes FrogWild keeps per-iteration time and network \
+         traffic well below even the 2-iteration PageRank baseline at comparable top-200 \
+         accuracy — the behaviour the paper's Figure 1 reports for the Twitter graph, here on a \
+         churn-prediction workload built from a connectivity/activity mixture."
+    );
+}
