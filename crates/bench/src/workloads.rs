@@ -79,7 +79,7 @@ impl Scale {
         match std::env::var("FROGWILD_SCALE").as_deref() {
             Ok("tiny") => Scale::tiny(),
             Ok("medium") => Scale::medium(),
-            Ok("small") | _ => Scale::small(),
+            _ => Scale::small(),
         }
     }
 

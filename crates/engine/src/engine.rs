@@ -24,10 +24,14 @@ use crate::rng;
 use crate::sync::SyncPolicy;
 
 /// Domain-separation tags for the deterministic randomness streams.
-const TAG_APPLY: u64 = 0xA11_1;
-const TAG_SYNC: u64 = 0x5C_2;
-const TAG_SCATTER: u64 = 0x5CA_3;
-const TAG_FORCE: u64 = 0xF0C_4;
+const TAG_APPLY: u64 = 0xA111;
+const TAG_SYNC: u64 = 0x5C2;
+const TAG_SCATTER: u64 = 0x5CA3;
+const TAG_FORCE: u64 = 0xF0C4;
+
+/// Per-machine superstep results: the (vertex, payload) pairs a machine produced,
+/// plus the number of work operations it performed.
+type PerMachine<T> = Vec<(Vec<(VertexId, T)>, u64)>;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -246,7 +250,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     }
                 }
             }
-            let per_machine: Vec<(Vec<(VertexId, P::Accum)>, u64)> = self.run_per_machine(
+            let per_machine: PerMachine<P::Accum> = self.run_per_machine(
                 caches,
                 |machine, cache| {
                     let shard = self.graph.shard(MachineId::from(machine));
@@ -439,7 +443,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         }
 
         // ----------------------------------------------------- sync apply + scatter --
-        let scatter_results: Vec<(Vec<(VertexId, P::Message)>, u64)> =
+        let scatter_results: PerMachine<P::Message> =
             self.run_per_machine_mut(caches, |machine, cache| {
                 let shard = self.graph.shard(MachineId::from(machine));
                 scatter_machine(

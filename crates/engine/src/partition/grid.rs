@@ -23,7 +23,7 @@ fn grid_dims(machines: usize) -> (usize, usize) {
     let mut best = (1, machines);
     let mut r = 1usize;
     while r * r <= machines {
-        if machines % r == 0 {
+        if machines.is_multiple_of(r) {
             best = (r, machines / r);
         }
         r += 1;

@@ -79,7 +79,7 @@ impl Partitioner for HdrfPartitioner {
             let mut best = 0usize;
             let mut best_score = f64::NEG_INFINITY;
             let mut best_tie = 0u64;
-            for p in 0..num_machines {
+            for (p, &load_p) in load.iter().enumerate() {
                 let word = p / 64;
                 let bit = 1u64 << (p % 64);
                 let hosts_u = replicas[ui * words + word] & bit != 0;
@@ -88,7 +88,7 @@ impl Partitioner for HdrfPartitioner {
                 // low-degree endpoint is penalised more than splitting the hub.
                 let rep_score = if hosts_u { 1.0 + (1.0 - theta_u) } else { 0.0 }
                     + if hosts_v { 1.0 + (1.0 - theta_v) } else { 0.0 };
-                let bal_score = (max_load - load[p] as f64) / balance_denominator;
+                let bal_score = (max_load - load_p as f64) / balance_denominator;
                 let score = rep_score + self.lambda * bal_score;
                 let tie = rng::mix(&[tie_seed, p as u64]);
                 if score > best_score || (score == best_score && tie < best_tie) {

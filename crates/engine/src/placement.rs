@@ -215,10 +215,10 @@ impl PartitionedGraph {
             add_replica(dst, machine, &mut replica_sets);
         }
         // Isolated vertices (no edges at all) still need a home for their master.
-        for v in 0..n {
-            if replica_sets[v].is_empty() {
+        for (v, set) in replica_sets.iter_mut().enumerate() {
+            if set.is_empty() {
                 let m = MachineId::from(rng::pick_index(num_machines, &[seed, 0x150AA7ED, v as u64]));
-                replica_sets[v].push(m);
+                set.push(m);
             }
         }
         for set in &mut replica_sets {
@@ -247,8 +247,7 @@ impl PartitionedGraph {
             }
         }
         let mut shards: Vec<Shard> = Vec::with_capacity(num_machines);
-        for m in 0..num_machines {
-            let vertices = std::mem::take(&mut shard_vertices[m]);
+        for (m, vertices) in shard_vertices.into_iter().enumerate() {
             let global_to_local: HashMap<VertexId, u32> = vertices
                 .iter()
                 .enumerate()
@@ -476,7 +475,7 @@ mod tests {
         let g = small_rmat();
         let pg = PartitionedGraph::build(&g, 8, &RandomPartitioner, 2);
         let rf = pg.placement().replication_factor();
-        assert!(rf >= 1.0 && rf <= 8.0, "replication factor {rf}");
+        assert!((1.0..=8.0).contains(&rf), "replication factor {rf}");
     }
 
     #[test]

@@ -18,9 +18,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Policy controlling which mirrors of an active vertex are synchronized each superstep.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum SyncPolicy {
     /// Synchronize every mirror (the default PowerGraph behaviour, `p_s = 1`).
+    #[default]
     Full,
     /// Synchronize each mirror independently with probability `ps` (Example 9).
     /// Walkers on a vertex none of whose out-edge-owning replicas were synchronized are
@@ -72,12 +73,6 @@ impl SyncPolicy {
         } else {
             SyncPolicy::AtLeastOneOutEdge { ps }
         }
-    }
-}
-
-impl Default for SyncPolicy {
-    fn default() -> Self {
-        SyncPolicy::Full
     }
 }
 

@@ -162,8 +162,8 @@ impl GraphBuilder {
         }
         match dangling {
             DanglingPolicy::SelfLoop => {
-                for v in 0..num_vertices {
-                    if !has_out[v] {
+                for (v, &out) in has_out.iter().enumerate() {
+                    if !out {
                         edges.push((v as VertexId, v as VertexId));
                     }
                 }

@@ -73,8 +73,7 @@ fn build_cooccurrence_graph(text: &str) -> (DiGraph, Vec<String>) {
     let window = 3usize;
     let mut builder = GraphBuilder::new(words.len());
     for (i, &a) in ids.iter().enumerate() {
-        for j in i + 1..(i + 1 + window).min(ids.len()) {
-            let b = ids[j];
+        for &b in &ids[i + 1..(i + 1 + window).min(ids.len())] {
             if a != b {
                 builder.add_edge_unchecked(a, b);
                 builder.add_edge_unchecked(b, a);

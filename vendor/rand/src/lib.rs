@@ -1,0 +1,415 @@
+//! Offline, in-tree stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so the
+//! workspace vendors the *exact* API surface it uses, implemented from scratch:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, non-cryptographic PRNG (xoshiro256++,
+//!   the same algorithm the real `rand 0.8` uses for `SmallRng` on 64-bit targets).
+//! * [`SeedableRng::seed_from_u64`] — splitmix64-based seeding, so every experiment
+//!   is reproducible from a single integer seed.
+//! * [`Rng::gen_range`] over integer and float ranges, [`Rng::gen`] for standard
+//!   distributions, and [`Rng::gen_bool`] for Bernoulli coins.
+//!
+//! Statistical quality matches the upstream algorithms; the *stream* of values is not
+//! guaranteed to be bit-identical to the real crate (no code in this workspace relies
+//! on that — only on determinism under a fixed seed, which holds).
+
+#![warn(missing_docs)]
+
+/// The core of a random number generator: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over all values for integers, uniform in `[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples a value uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample from an empty range");
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1]");
+        // Compare against a 53-bit uniform in [0, 1); p == 1.0 always passes.
+        p >= 1.0 || unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A uniform `f64` in `[0, 1)` from the top 53 bits of a random word.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// SplitMix64 step, used for seeding the main generator from a single `u64`.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose whole stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++.
+    ///
+    /// Mirrors `rand::rngs::SmallRng` on 64-bit platforms. Period 2^256 − 1,
+    /// equidistributed in four dimensions — far more than the simulations here need.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Expand the 64-bit seed through splitmix64 as the xoshiro authors
+            // recommend; guards against the all-zero state.
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions over types: the standard (full-range / unit-interval) distribution
+/// and uniform sampling over ranges.
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over all values for integers
+    /// and `bool`, uniform in `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                #[inline]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+    pub mod uniform {
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range-like object from which a single value can be sampled uniformly.
+        pub trait SampleRange<T> {
+            /// Draws one value uniformly from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            /// Whether the range contains no values.
+            fn is_empty(&self) -> bool;
+        }
+
+        /// Multiply-shift (Lemire) bounded sampling: uniform in `0..span`.
+        #[inline]
+        fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            // A single 128-bit multiply gives a value in 0..span with bias at most
+            // 2^-64 per draw — irrelevant at the scales simulated here.
+            (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+        }
+
+        macro_rules! impl_sample_range_uint {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let span = (self.end - self.start) as u64;
+                        self.start + bounded(rng, span) as $t
+                    }
+                    #[inline]
+                    fn is_empty(&self) -> bool {
+                        self.start >= self.end
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        let span = (hi - lo) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        lo + bounded(rng, span + 1) as $t
+                    }
+                    #[inline]
+                    fn is_empty(&self) -> bool {
+                        self.start() > self.end()
+                    }
+                }
+            )*};
+        }
+        impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_sample_range_int {
+            ($($t:ty => $u:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                        self.start.wrapping_add(bounded(rng, span) as $t)
+                    }
+                    #[inline]
+                    fn is_empty(&self) -> bool {
+                        self.start >= self.end
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        lo.wrapping_add(bounded(rng, span + 1) as $t)
+                    }
+                    #[inline]
+                    fn is_empty(&self) -> bool {
+                        self.start() > self.end()
+                    }
+                }
+            )*};
+        }
+        impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+        macro_rules! impl_sample_range_float {
+            // `$bits` is the mantissa precision of `$t`: the unit uniform is built on a
+            // native-precision lattice so a 53-bit f64 draw is never rounded *up* to
+            // 1.0 by an f32 cast.
+            ($($t:ty => $bits:expr),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let u = (rng.next_u64() >> (64 - $bits)) as $t
+                            / (1u64 << $bits) as $t;
+                        let candidate = self.start + (self.end - self.start) * u;
+                        // Floating-point rounding of `start + span * u` can land on
+                        // `end` even though u < 1; keep the half-open contract.
+                        if candidate < self.end {
+                            candidate
+                        } else {
+                            self.end.next_down().max(self.start)
+                        }
+                    }
+                    #[inline]
+                    fn is_empty(&self) -> bool {
+                        // NaN endpoints make the range empty, so compare via
+                        // partial_cmp rather than a negated `<`.
+                        !matches!(
+                            self.start.partial_cmp(&self.end),
+                            Some(std::cmp::Ordering::Less)
+                        )
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        // Include the upper endpoint by drawing on [0, 1] via a
+                        // native-precision lattice stretched to the closed interval.
+                        let u = (rng.next_u64() >> (64 - $bits)) as $t
+                            / ((1u64 << $bits) - 1) as $t;
+                        (lo + (hi - lo) * u).clamp(lo, hi)
+                    }
+                    #[inline]
+                    fn is_empty(&self) -> bool {
+                        !matches!(
+                            self.start().partial_cmp(self.end()),
+                            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                        )
+                    }
+                }
+            )*};
+        }
+        impl_sample_range_float!(f32 => 24, f64 => 53);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic_and_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_frequency() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..50_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 50_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn float_ranges_exclude_the_open_endpoint() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Wide range: the 24-bit f32 lattice must never reach 1.0.
+        for _ in 0..5_000_000 {
+            let x = rng.gen_range(0.0f32..1.0);
+            assert!(x < 1.0, "f32 sample hit the open endpoint");
+        }
+        // Degenerate range one ULP wide: `start + span * u` rounds onto `end`
+        // almost every draw, exercising the exclusivity clamp.
+        let lo = 1.0f32;
+        let hi = lo.next_up();
+        for _ in 0..1_000 {
+            let x = rng.gen_range(lo..hi);
+            assert!(x >= lo && x < hi, "degenerate f32 range produced {x}");
+            let y = rng.gen_range((lo as f64)..(hi as f64));
+            assert!(y >= lo as f64 && y < hi as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline, in-tree stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]` annotations
+//! on result/report types (no code path actually serializes yet — CSV/markdown output
+//! goes through `frogwild::report`). The build environment has no crates.io access, so
+//! this crate provides the two derive macros as no-ops: the annotations compile, carry
+//! their documentation value, and can be switched to the real serde by changing one
+//! line in the workspace dependency table once a registry is available.
+//!
+//! `attributes(serde)` is declared so any future `#[serde(...)]` field attributes
+//! remain legal at the use site.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
