@@ -20,32 +20,42 @@ fn bench_frogwild(c: &mut Criterion) {
     for ps in [1.0, 0.4, 0.1] {
         group.bench_with_input(BenchmarkId::new("sync_probability", ps), &ps, |b, &ps| {
             b.iter(|| {
-                black_box(run_frogwild_on(
-                    &pg,
-                    &FrogWildConfig {
-                        num_walkers: 50_000,
-                        iterations: 4,
-                        sync_probability: ps,
-                        ..FrogWildConfig::default()
-                    },
-                ))
+                black_box(
+                    run_frogwild_on(
+                        &pg,
+                        &FrogWildConfig {
+                            num_walkers: 50_000,
+                            iterations: 4,
+                            sync_probability: ps,
+                            ..FrogWildConfig::default()
+                        },
+                    )
+                    .unwrap(),
+                )
             })
         });
     }
     for walkers in [10_000u64, 100_000] {
-        group.bench_with_input(BenchmarkId::new("walkers", walkers), &walkers, |b, &walkers| {
-            b.iter(|| {
-                black_box(run_frogwild_on(
-                    &pg,
-                    &FrogWildConfig {
-                        num_walkers: walkers,
-                        iterations: 4,
-                        sync_probability: 0.7,
-                        ..FrogWildConfig::default()
-                    },
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("walkers", walkers),
+            &walkers,
+            |b, &walkers| {
+                b.iter(|| {
+                    black_box(
+                        run_frogwild_on(
+                            &pg,
+                            &FrogWildConfig {
+                                num_walkers: walkers,
+                                iterations: 4,
+                                sync_probability: 0.7,
+                                ..FrogWildConfig::default()
+                            },
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -19,10 +19,10 @@ fn bench_pagerank(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(graph.num_edges() as u64));
     group.bench_function("engine_pr_2_iterations", |b| {
-        b.iter(|| black_box(run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2))))
+        b.iter(|| black_box(run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2)).unwrap()))
     });
     group.bench_function("engine_pr_1_iteration", |b| {
-        b.iter(|| black_box(run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1))))
+        b.iter(|| black_box(run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1)).unwrap()))
     });
     group.bench_function("serial_power_iteration_20_iters", |b| {
         b.iter(|| black_box(exact_pagerank(&graph, 0.15, 20, 0.0)))

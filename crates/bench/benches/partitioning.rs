@@ -34,7 +34,14 @@ fn bench_partitioners(c: &mut Criterion) {
         });
     }
     group.bench_function("build_partitioned_graph_oblivious", |b| {
-        b.iter(|| black_box(PartitionedGraph::build(&graph, MACHINES, &ObliviousPartitioner, 3)))
+        b.iter(|| {
+            black_box(PartitionedGraph::build(
+                &graph,
+                MACHINES,
+                &ObliviousPartitioner,
+                3,
+            ))
+        })
     });
     group.finish();
 }

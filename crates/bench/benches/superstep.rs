@@ -24,17 +24,20 @@ fn bench_superstep(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_superstep");
     group.sample_size(10);
     group.bench_function("frogwild_4_supersteps_serial", |b| {
-        b.iter(|| black_box(run_frogwild_on(&pg, &config)))
+        b.iter(|| black_box(run_frogwild_on(&pg, &config).unwrap()))
     });
     group.bench_function("frogwild_4_supersteps_parallel", |b| {
         b.iter(|| {
-            black_box(run_frogwild_on(
-                &pg,
-                &FrogWildConfig {
-                    parallel: true,
-                    ..config
-                },
-            ))
+            black_box(
+                run_frogwild_on(
+                    &pg,
+                    &FrogWildConfig {
+                        parallel: true,
+                        ..config
+                    },
+                )
+                .unwrap(),
+            )
         })
     });
     group.finish();

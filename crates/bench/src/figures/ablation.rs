@@ -58,7 +58,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     ];
     for (name, partitioner) in partitioners {
         let pg = PartitionedGraph::build(&workload.graph, machines, partitioner, scale.seed);
-        let pr = run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2));
+        let pr = run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2))
+            .expect("valid figure configuration");
         let fw = run_frogwild_on(
             &pg,
             &FrogWildConfig {
@@ -67,7 +68,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 sync_probability: 0.7,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .expect("valid figure configuration");
         let (mass, _) = accuracy(&fw, &workload.truth, k);
         partitioner_table.push_row(vec![
             name.to_string(),
@@ -101,7 +103,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     binomial_scatter: binomial,
                     ..FrogWildConfig::default()
                 },
-            );
+            )
+            .expect("valid figure configuration");
             let (mass, _) = accuracy(&fw, &workload.truth, k);
             scatter_table.push_row(vec![
                 mode.to_string(),
@@ -121,7 +124,10 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0xE7A5);
     for &ps in &[0.4, 0.1] {
         for (name, model) in [
-            ("at-least-one", frogwild::erasure::ErasureModel::AtLeastOneOutEdge),
+            (
+                "at-least-one",
+                frogwild::erasure::ErasureModel::AtLeastOneOutEdge,
+            ),
             ("independent", frogwild::erasure::ErasureModel::Independent),
         ] {
             let est = frogwild::erasure::erasure_walk_pagerank(
@@ -164,11 +170,7 @@ mod tests {
     fn smarter_partitioners_beat_random_replication() {
         let tables = run(&Scale::tiny());
         let rf = |name: &str| -> f64 {
-            tables[0]
-                .rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[1]
+            tables[0].rows.iter().find(|r| r[0] == name).unwrap()[1]
                 .parse()
                 .unwrap()
         };

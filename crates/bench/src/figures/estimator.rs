@@ -22,10 +22,10 @@ use crate::workloads::{twitter_workload, Scale};
 use frogwild::driver::run_frogwild_on;
 use frogwild::metrics::{exact_identification, mass_captured};
 use frogwild::montecarlo::{complete_path_pagerank, walkers_per_vertex_pagerank};
+use frogwild::prelude::*;
 use frogwild::rank_metrics::{kendall_tau_top_k, ndcg_at_k};
 use frogwild::reference::{exact_pagerank, serial_random_walk_pagerank};
 use frogwild::report::{fmt_f64, Table};
-use frogwild::prelude::*;
 use frogwild_engine::{ObliviousPartitioner, PartitionedGraph};
 use frogwild_graph::generators::watts_strogatz::{watts_strogatz, WattsStrogatzParams};
 use rand::rngs::SmallRng;
@@ -44,7 +44,14 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             "Ablation D: estimator comparison ({}, {} walkers, {} steps)",
             workload.name, scale.walkers, max_steps
         ),
-        &["estimator", "walkers", "mass_k100", "exact_ident_k100", "kendall_tau_k100", "ndcg_k100"],
+        &[
+            "estimator",
+            "walkers",
+            "mass_k100",
+            "exact_ident_k100",
+            "kendall_tau_k100",
+            "ndcg_k100",
+        ],
     );
     let mut push_estimator_row = |name: &str, walkers: u64, estimate: &[f64]| {
         estimator_table.push_row(vec![
@@ -68,8 +75,13 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 seed: scale.seed,
                 ..FrogWildConfig::default()
             },
+        )
+        .expect("valid figure configuration");
+        push_estimator_row(
+            &format!("frogwild engine ps={ps}"),
+            scale.walkers,
+            &report.estimate,
         );
-        push_estimator_row(&format!("frogwild engine ps={ps}"), scale.walkers, &report.estimate);
     }
 
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0xE571);
@@ -83,13 +95,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
 
     // The walkers-per-vertex rule spends Θ(n) walks; report its real budget.
     let per_vertex_walks = 1u32;
-    let per_vertex = walkers_per_vertex_pagerank(
-        &workload.graph,
-        per_vertex_walks,
-        max_steps,
-        0.15,
-        &mut rng,
-    );
+    let per_vertex =
+        walkers_per_vertex_pagerank(&workload.graph, per_vertex_walks, max_steps, 0.15, &mut rng);
     push_estimator_row(
         "walkers-per-vertex MC",
         workload.graph.num_vertices() as u64 * per_vertex_walks as u64,
@@ -112,7 +119,11 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     );
     let small_world_truth = exact_pagerank(&small_world, 0.15, 200, 1e-10).scores;
     let families: [(&str, &DiGraph, &[f64]); 2] = [
-        ("twitter-shaped (heavy tail)", &workload.graph, &workload.truth),
+        (
+            "twitter-shaped (heavy tail)",
+            &workload.graph,
+            &workload.truth,
+        ),
         ("watts-strogatz (flat)", &small_world, &small_world_truth),
     ];
     for (name, graph, truth) in families {
@@ -126,7 +137,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 seed: scale.seed,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .expect("valid figure configuration");
         let optimal = mass_captured(truth, truth, k).optimal;
         family_table.push_row(vec![
             name.to_string(),

@@ -49,15 +49,18 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     tolerance: 1e-9,
                     ..PageRankConfig::default()
                 },
-            ),
+            )
+            .expect("valid figure configuration"),
         ));
         runs.push((
             "GraphLab PR 2 iters".into(),
-            run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2)),
+            run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2))
+                .expect("valid figure configuration"),
         ));
         runs.push((
             "GraphLab PR 1 iters".into(),
-            run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1)),
+            run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1))
+                .expect("valid figure configuration"),
         ));
         for &ps in &PS_SWEEP {
             runs.push((
@@ -70,7 +73,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                         sync_probability: ps,
                         ..FrogWildConfig::default()
                     },
-                ),
+                )
+                .expect("valid figure configuration"),
             ));
         }
 

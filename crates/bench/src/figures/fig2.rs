@@ -2,10 +2,12 @@
 //!
 //! (a) mass captured, (b) exact identification, for k ∈ {30, 100, 300, 1000}.
 //! Series: GraphLab PR 2 iters, 1 iter, and FrogWild with p_s ∈ {1, 0.7, 0.4, 0.1}.
+//!
+//! This figure is the session API's home turf: one `Session` partitions the workload
+//! graph once and then serves the whole six-way algorithm sweep as a query stream.
 
-use super::{accuracy, PS_SWEEP};
+use super::PS_SWEEP;
 use crate::workloads::{twitter_workload, Scale};
-use frogwild::driver::{partition_graph, run_frogwild_on, run_graphlab_pr_on, RunReport};
 use frogwild::prelude::*;
 use frogwild::report::{fmt_f64, Table};
 
@@ -15,38 +17,47 @@ pub const K_SWEEP: [usize; 4] = [30, 100, 300, 1000];
 /// Runs the Figure 2 sweep: one table per accuracy metric.
 pub fn run(scale: &Scale) -> Vec<Table> {
     let workload = twitter_workload(scale);
-    let cluster = ClusterConfig::new(16.min(*scale.machine_counts.last().unwrap_or(&16)), scale.seed);
-    let pg = partition_graph(&workload.graph, &cluster);
+    let machines = 16.min(*scale.machine_counts.last().unwrap_or(&16));
+    let mut session = Session::builder(&workload.graph)
+        .machines(machines)
+        .seed(scale.seed)
+        .build()
+        .expect("valid figure configuration");
+    let max_k = *K_SWEEP.last().unwrap();
 
-    let mut runs: Vec<(String, RunReport)> = vec![
-        (
-            "GraphLab PR 2 iters".into(),
-            run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2)),
-        ),
-        (
-            "GraphLab PR 1 iters".into(),
-            run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1)),
-        ),
-    ];
+    let mut runs: Vec<(String, Response)> = Vec::new();
+    for iters in [2usize, 1] {
+        runs.push((
+            format!("GraphLab PR {iters} iters"),
+            session
+                .query(&Query::Pagerank {
+                    k: max_k,
+                    config: PageRankConfig::truncated(iters),
+                })
+                .expect("valid figure configuration"),
+        ));
+    }
     for &ps in &PS_SWEEP {
         runs.push((
             format!("FrogWild ps={ps}"),
-            run_frogwild_on(
-                &pg,
-                &FrogWildConfig {
-                    num_walkers: scale.walkers,
-                    iterations: 4,
-                    sync_probability: ps,
-                    ..FrogWildConfig::default()
-                },
-            ),
+            session
+                .query(&Query::TopK {
+                    k: max_k,
+                    config: FrogWildConfig {
+                        num_walkers: scale.walkers,
+                        iterations: 4,
+                        sync_probability: ps,
+                        ..FrogWildConfig::default()
+                    },
+                })
+                .expect("valid figure configuration"),
         ));
     }
 
     let mut mass_table = Table::new(
         format!(
             "Figure 2(a): mass captured vs k ({}, {} machines, {} walkers, 4 iters)",
-            workload.name, cluster.num_machines, scale.walkers
+            workload.name, machines, scale.walkers
         ),
         &["k", "algorithm", "mass_captured"],
     );
@@ -55,8 +66,9 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         &["k", "algorithm", "exact_identification"],
     );
     for &k in &K_SWEEP {
-        for (label, report) in &runs {
-            let (mass, ident) = accuracy(report, &workload.truth, k);
+        for (label, response) in &runs {
+            let mass = mass_captured(&response.estimate, &workload.truth, k).normalized();
+            let ident = exact_identification(&response.estimate, &workload.truth, k);
             mass_table.push_row(vec![k.to_string(), label.clone(), fmt_f64(mass)]);
             ident_table.push_row(vec![k.to_string(), label.clone(), fmt_f64(ident)]);
         }

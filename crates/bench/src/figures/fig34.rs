@@ -63,8 +63,13 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             },
         ),
     ] {
-        let report = run_graphlab_pr_on(&pg, &config);
-        push(label, config.max_iterations.to_string(), "-".into(), &report);
+        let report = run_graphlab_pr_on(&pg, &config).expect("valid figure configuration");
+        push(
+            label,
+            config.max_iterations.to_string(),
+            "-".into(),
+            &report,
+        );
     }
 
     for &iterations in &ITERATION_SWEEP {
@@ -77,7 +82,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     sync_probability: ps,
                     ..FrogWildConfig::default()
                 },
-            );
+            )
+            .expect("valid figure configuration");
             push("FrogWild", iterations.to_string(), ps.to_string(), &report);
         }
     }
@@ -101,10 +107,7 @@ mod tests {
     fn fig34_frogwild_cheaper_than_exact_pr() {
         let tables = run(&Scale::tiny());
         let rows = &tables[0].rows;
-        let exact_bytes: u64 = rows
-            .iter()
-            .find(|r| r[0] == "GraphLab PR exact")
-            .unwrap()[5]
+        let exact_bytes: u64 = rows.iter().find(|r| r[0] == "GraphLab PR exact").unwrap()[5]
             .parse()
             .unwrap();
         let fw_bytes: u64 = rows
@@ -113,6 +116,9 @@ mod tests {
             .map(|r| r[5].parse::<u64>().unwrap())
             .max()
             .unwrap();
-        assert!(fw_bytes < exact_bytes, "FrogWild max {fw_bytes} vs exact {exact_bytes}");
+        assert!(
+            fw_bytes < exact_bytes,
+            "FrogWild max {fw_bytes} vs exact {exact_bytes}"
+        );
     }
 }

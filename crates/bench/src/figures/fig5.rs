@@ -44,7 +44,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             &cluster,
             config.keep_probability,
             &config.pagerank_config(scale.seed),
-        );
+        )
+        .expect("valid figure configuration");
         let (mass, _) = accuracy(&report, &workload.truth, K);
         table.push_row(vec![
             "Sparsified GraphLab PR 2 iters".into(),
@@ -65,7 +66,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 sync_probability: ps,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .expect("valid figure configuration");
         let (mass, _) = accuracy(&report, &workload.truth, K);
         table.push_row(vec![
             "FrogWild 4 iters".into(),

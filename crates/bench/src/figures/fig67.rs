@@ -51,7 +51,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     sync_probability: ps,
                     ..FrogWildConfig::default()
                 },
-            );
+            )
+            .expect("valid figure configuration");
             let (mass, _) = accuracy(&report, &workload.truth, K);
             walkers_acc.push_row(vec![walkers.to_string(), ps.to_string(), fmt_f64(mass)]);
             walkers_time.push_row(vec![
@@ -84,7 +85,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     sync_probability: ps,
                     ..FrogWildConfig::default()
                 },
-            );
+            )
+            .expect("valid figure configuration");
             let (mass, _) = accuracy(&report, &workload.truth, K);
             iters_acc.push_row(vec![iterations.to_string(), ps.to_string(), fmt_f64(mass)]);
             iters_time.push_row(vec![
@@ -122,7 +124,7 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             },
         ),
     ] {
-        let report = run_graphlab_pr_on(&pg, &config);
+        let report = run_graphlab_pr_on(&pg, &config).expect("valid figure configuration");
         let (mass, _) = accuracy(&report, &workload.truth, K);
         tradeoff.push_row(vec![
             label.to_string(),
@@ -143,7 +145,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     sync_probability: ps,
                     ..FrogWildConfig::default()
                 },
-            );
+            )
+            .expect("valid figure configuration");
             let (mass, _) = accuracy(&report, &workload.truth, K);
             tradeoff.push_row(vec![
                 "FrogWild".into(),

@@ -38,7 +38,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 sync_probability: 1.0,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .expect("valid figure configuration");
         table.push_row(vec![
             walkers.to_string(),
             report.cost.network_bytes.to_string(),

@@ -64,15 +64,15 @@ mod tests {
     fn cost_row_has_matching_arity() {
         let scale = Scale::tiny();
         let w = twitter_workload(&scale);
-        let report = run_frogwild(
-            &w.graph,
-            &ClusterConfig::new(4, 1),
+        let report = frogwild::driver::run_frogwild_on(
+            &frogwild::driver::partition_graph(&w.graph, &ClusterConfig::new(4, 1)),
             &FrogWildConfig {
                 num_walkers: 5_000,
                 iterations: 3,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .unwrap();
         let row = cost_row("test", &report, &w.truth, 20);
         assert_eq!(row.len(), COST_COLUMNS.len());
         let (mass, ident) = accuracy(&report, &w.truth, 20);

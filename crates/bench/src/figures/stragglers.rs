@@ -53,7 +53,9 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         for &slow in &SLOWDOWNS {
             let mut speeds = vec![1.0; machines];
             speeds[0] = slow;
-            let degraded = report.metrics.total_simulated_seconds_hetero(&model, &speeds);
+            let degraded = report
+                .metrics
+                .total_simulated_seconds_hetero(&model, &speeds);
             row.push(fmt_f64(degraded / nominal.max(f64::MIN_POSITIVE)));
         }
         table.push_row(row);
@@ -66,9 +68,11 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             tolerance: 1e-9,
             ..PageRankConfig::default()
         },
-    );
+    )
+    .expect("valid figure configuration");
     push_row("GraphLab PR exact", &exact);
-    let two = run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2));
+    let two =
+        run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2)).expect("valid figure configuration");
     push_row("GraphLab PR 2 iters", &two);
     for &ps in &[1.0, 0.4] {
         let fw = run_frogwild_on(
@@ -80,7 +84,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                 seed: scale.seed,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .expect("valid figure configuration");
         push_row(&format!("FrogWild ps={ps}"), &fw);
     }
 

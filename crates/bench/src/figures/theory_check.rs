@@ -18,7 +18,10 @@ use rand::SeedableRng;
 /// Runs the theory-vs-measurement comparison.
 pub fn run(scale: &Scale) -> Vec<Table> {
     let workload = twitter_workload(scale);
-    let cluster = ClusterConfig::new(16.min(*scale.machine_counts.last().unwrap_or(&16)), scale.seed);
+    let cluster = ClusterConfig::new(
+        16.min(*scale.machine_counts.last().unwrap_or(&16)),
+        scale.seed,
+    );
     let pg = partition_graph(&workload.graph, &cluster);
     let pi_max = workload.truth.iter().cloned().fold(0.0, f64::max);
     let n = workload.graph.num_vertices();
@@ -26,20 +29,33 @@ pub fn run(scale: &Scale) -> Vec<Table> {
 
     // ------------------------------------------------------------------- Theorem 2
     let mut theorem2 = Table::new(
-        format!("Theorem 2: intersection probability, bound vs Monte-Carlo ({})", workload.name),
+        format!(
+            "Theorem 2: intersection probability, bound vs Monte-Carlo ({})",
+            workload.name
+        ),
         &["steps", "bound", "measured"],
     );
     for steps in [2usize, 4, 6] {
         let bound = theory::intersection_probability_bound(n, steps, 0.15, pi_max);
-        let measured =
-            theory::empirical_intersection_probability(&workload.graph, steps, 0.15, 20_000, &mut rng);
+        let measured = theory::empirical_intersection_probability(
+            &workload.graph,
+            steps,
+            0.15,
+            20_000,
+            &mut rng,
+        );
         theorem2.push_row(vec![steps.to_string(), fmt_f64(bound), fmt_f64(measured)]);
     }
 
     // --------------------------------------------------------------- Proposition 7
     let mut prop7 = Table::new(
         "Proposition 7: bound on the largest PageRank entry (gamma = 0.5, theta = 2.2)",
-        &["n", "bound_on_pi_max", "measured_pi_max", "failure_probability"],
+        &[
+            "n",
+            "bound_on_pi_max",
+            "measured_pi_max",
+            "failure_probability",
+        ],
     );
     let (bound, failure) = theory::power_law_max_bound(n, 0.5, 2.2);
     prop7.push_row(vec![
@@ -68,7 +84,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
                     sync_probability: ps,
                     ..FrogWildConfig::default()
                 },
-            );
+            )
+            .expect("valid figure configuration");
             let m = mass_captured(&report.estimate, &workload.truth, k);
             let p_intersect = theory::intersection_probability_bound(n, iterations, 0.15, pi_max);
             let epsilon =
@@ -101,7 +118,10 @@ mod tests {
         for row in &tables[0].rows {
             let bound: f64 = row[1].parse().unwrap();
             let measured: f64 = row[2].parse().unwrap();
-            assert!(measured <= bound * 1.3 + 0.02, "bound {bound}, measured {measured}");
+            assert!(
+                measured <= bound * 1.3 + 0.02,
+                "bound {bound}, measured {measured}"
+            );
         }
     }
 }

@@ -120,7 +120,10 @@ impl Workload {
 /// The Twitter-shaped workload for the given scale.
 pub fn twitter_workload(scale: &Scale) -> Workload {
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0x7017);
-    Workload::build("Twitter-shaped", twitter_like(scale.twitter_vertices, &mut rng))
+    Workload::build(
+        "Twitter-shaped",
+        twitter_like(scale.twitter_vertices, &mut rng),
+    )
 }
 
 /// The LiveJournal-shaped workload for the given scale.

@@ -44,12 +44,21 @@ impl std::fmt::Display for ArgError {
                 option,
                 value,
                 expected,
-            } => write!(f, "invalid value {value:?} for --{option}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value {value:?} for --{option}: expected {expected}"
+            ),
         }
     }
 }
 
 impl std::error::Error for ArgError {}
+
+impl From<ArgError> for frogwild::Error {
+    fn from(e: ArgError) -> Self {
+        frogwild::Error::config("command line", e.to_string())
+    }
+}
 
 impl Args {
     /// Parses a raw argument vector (without the program name).
@@ -91,7 +100,8 @@ impl Args {
 
     /// A required string option.
     pub fn require(&self, name: &str) -> Result<&str, ArgError> {
-        self.get(name).ok_or_else(|| ArgError::MissingOption(name.to_string()))
+        self.get(name)
+            .ok_or_else(|| ArgError::MissingOption(name.to_string()))
     }
 
     /// A numeric/string option parsed into `T`, with a default when absent.
@@ -126,7 +136,10 @@ mod tests {
         assert_eq!(args.command, "topk");
         assert_eq!(args.get("graph"), Some("g.txt"));
         assert_eq!(args.get_parsed("k", 100usize, "integer").unwrap(), 50);
-        assert_eq!(args.get_parsed("walkers", 800_000u64, "integer").unwrap(), 800_000);
+        assert_eq!(
+            args.get_parsed("walkers", 800_000u64, "integer").unwrap(),
+            800_000
+        );
     }
 
     #[test]
@@ -146,13 +159,18 @@ mod tests {
     fn missing_command_and_options_are_errors() {
         assert_eq!(Args::parse(&[]).unwrap_err(), ArgError::MissingCommand);
         let args = Args::parse(&to_vec(&["topk"])).unwrap();
-        assert!(matches!(args.require("graph"), Err(ArgError::MissingOption(_))));
+        assert!(matches!(
+            args.require("graph"),
+            Err(ArgError::MissingOption(_))
+        ));
     }
 
     #[test]
     fn invalid_numeric_values_are_reported() {
         let args = Args::parse(&to_vec(&["topk", "--k", "many"])).unwrap();
-        let err = args.get_parsed("k", 10usize, "a positive integer").unwrap_err();
+        let err = args
+            .get_parsed("k", 10usize, "a positive integer")
+            .unwrap_err();
         assert!(matches!(err, ArgError::InvalidValue { .. }));
         assert!(err.to_string().contains("--k"));
     }
@@ -160,6 +178,8 @@ mod tests {
     #[test]
     fn error_display_strings() {
         assert_eq!(ArgError::MissingCommand.to_string(), "missing subcommand");
-        assert!(ArgError::MissingOption("graph".into()).to_string().contains("--graph"));
+        assert!(ArgError::MissingOption("graph".into())
+            .to_string()
+            .contains("--graph"));
     }
 }

@@ -1,5 +1,11 @@
 //! `frogwild` — command-line front end for the FrogWild reproduction.
 //!
+//! The engine-backed subcommands (`topk`, `pagerank`, `autotune`) build a [`Session`] —
+//! the graph is partitioned across the simulated cluster exactly once — and serve their
+//! queries through the typed `Query` → `Response` surface; `ppr` is serial and is
+//! served directly from the raw graph (no partitioning). Errors are `frogwild::Error`
+//! values printed to stderr; nothing panics on a bad configuration.
+//!
 //! ```text
 //! USAGE:
 //!     frogwild <COMMAND> [OPTIONS]
@@ -13,18 +19,20 @@
 //!     stats      print basic structural statistics of an edge-list graph
 //!     generate   write a synthetic Twitter-/LiveJournal-shaped graph as an edge list
 //!
-//! COMMON OPTIONS:
-//!     --graph <path>       SNAP-style edge list (whitespace separated, # comments)
-//!     --synthetic <kind>   use a generated graph instead: twitter | livejournal
-//!     --vertices <n>       size of the synthetic graph              [default: 100000]
-//!     --machines <n>       simulated cluster size                   [default: 16]
-//!     --seed <n>           random seed                              [default: 42]
+//! COMMON OPTIONS (session setup):
+//!     --graph <path>        SNAP-style edge list (whitespace separated, # comments)
+//!     --synthetic <kind>    use a generated graph instead: twitter | livejournal
+//!     --vertices <n>        size of the synthetic graph             [default: 100000]
+//!     --machines <n>        simulated cluster size                  [default: 16]
+//!     --partitioner <p>     random|grid|oblivious|hdrf|hybrid       [default: oblivious]
+//!     --seed <n>            random seed                             [default: 42]
 //!
 //! TOPK OPTIONS:
 //!     --k <n>              how many vertices to report              [default: 100]
 //!     --walkers <n>        number of random walkers                 [default: 800000]
 //!     --iterations <n>     engine supersteps                        [default: 4]
 //!     --ps <p>             mirror synchronization probability       [default: 0.7]
+//!     --repeat <n>         serve the query n times on one session   [default: 1]
 //!     --parallel           one worker thread per simulated machine
 //!
 //! PAGERANK OPTIONS:
@@ -81,7 +89,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&args),
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(Error::query(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -97,9 +105,12 @@ fn print_usage() {
         "frogwild — fast top-k PageRank approximation (FrogWild, VLDB 2015 reproduction)\n\n\
          usage: frogwild <topk|autotune|pagerank|ppr|plan|stats|generate> [options]\n\
          \n\
-         common:   --graph <edge list> | --synthetic twitter|livejournal [--vertices N]\n\
-         \u{20}          --machines N --seed N\n\
-         topk:     --k N --walkers N --iterations N --ps P [--parallel]\n\
+         Ranking commands build one Session (the graph is partitioned once) and serve\n\
+         typed queries against it; repeated queries amortize the partitioning cost.\n\
+         \n\
+         session:  --graph <edge list> | --synthetic twitter|livejournal [--vertices N]\n\
+         \u{20}          --machines N --partitioner random|grid|oblivious|hdrf|hybrid --seed N\n\
+         topk:     --k N --walkers N --iterations N --ps P [--repeat N] [--parallel]\n\
          autotune: --k N --loss E --delta D --ps P [--pilot-walkers N]\n\
          pagerank: --iterations N | --exact\n\
          ppr:      --source V [--method push|exact] [--epsilon E] [--k N]\n\
@@ -111,11 +122,11 @@ fn print_usage() {
 }
 
 /// Loads the graph named by `--graph`, or generates one per `--synthetic`.
-fn load_graph(args: &Args) -> Result<DiGraph, String> {
-    let seed: u64 = args.get_parsed("seed", 42, "an integer").map_err(|e| e.to_string())?;
+fn load_graph(args: &Args) -> Result<DiGraph> {
+    let seed: u64 = args.get_parsed("seed", 42, "an integer")?;
     if let Some(path) = args.get("graph") {
         let (graph, _) = read_edge_list_file(path, &EdgeListOptions::default())
-            .map_err(|e| format!("could not load {path}: {e}"))?;
+            .map_err(|e| Error::graph(format!("could not load {path}: {e}")))?;
         eprintln!(
             "loaded {path}: {} vertices, {} edges",
             graph.num_vertices(),
@@ -123,15 +134,18 @@ fn load_graph(args: &Args) -> Result<DiGraph, String> {
         );
         return Ok(graph);
     }
-    let vertices: usize = args
-        .get_parsed("vertices", 100_000, "an integer")
-        .map_err(|e| e.to_string())?;
+    let vertices: usize = args.get_parsed("vertices", 100_000, "an integer")?;
     let kind = args.get("synthetic").unwrap_or("twitter");
     let mut rng = SmallRng::seed_from_u64(seed);
     let graph = match kind {
         "twitter" => frogwild_graph::generators::twitter_like(vertices, &mut rng),
         "livejournal" => frogwild_graph::generators::livejournal_like(vertices, &mut rng),
-        other => return Err(format!("unknown synthetic graph kind {other:?}")),
+        other => {
+            return Err(Error::config(
+                "command line",
+                format!("unknown synthetic graph kind {other:?}"),
+            ))
+        }
     };
     eprintln!(
         "generated {kind}-shaped graph: {} vertices, {} edges (seed {seed})",
@@ -141,206 +155,229 @@ fn load_graph(args: &Args) -> Result<DiGraph, String> {
     Ok(graph)
 }
 
-fn cluster(args: &Args) -> Result<ClusterConfig, String> {
-    let machines: usize = args
-        .get_parsed("machines", 16, "an integer")
-        .map_err(|e| e.to_string())?;
-    let seed: u64 = args.get_parsed("seed", 42, "an integer").map_err(|e| e.to_string())?;
-    if machines == 0 {
-        return Err("--machines must be at least 1".to_string());
-    }
-    Ok(ClusterConfig::new(machines, seed))
+/// Builds the session shared by all ranking subcommands.
+fn session_over<'g>(args: &Args, graph: &'g DiGraph) -> Result<Session<'g>> {
+    let machines: usize = args.get_parsed("machines", 16, "an integer")?;
+    let seed: u64 = args.get_parsed("seed", 42, "an integer")?;
+    let partitioner: PartitionerKind = args.get_parsed(
+        "partitioner",
+        PartitionerKind::default(),
+        "a partitioner name",
+    )?;
+    let session = Session::builder(graph)
+        .machines(machines)
+        .partitioner(partitioner)
+        .seed(seed)
+        .build()?;
+    eprintln!(
+        "session: {} machines, {} partitioner, replication factor {:.2}, partitioned in {:.3}s",
+        session.num_machines(),
+        session.partitioner_name(),
+        session.replication_factor(),
+        session.stats().partition_seconds,
+    );
+    Ok(session)
 }
 
-fn cmd_topk(args: &Args) -> Result<(), String> {
-    let graph = load_graph(args)?;
-    let cluster = cluster(args)?;
+fn print_response_header(session: &Session<'_>, response: &Response) {
+    println!("# algorithm: {}", response.algorithm);
+    println!(
+        "# machines: {}, supersteps: {}, network bytes: {}, simulated time: {:.4}s, repartitioned: {}",
+        session.num_machines(),
+        response.cost.supersteps,
+        response.cost.network_bytes,
+        response.cost.simulated_seconds,
+        response.cost.repartitioned,
+    );
+}
+
+fn print_ranking(response: &Response, score_label: &str) {
+    println!("rank,vertex,{score_label}");
+    for (rank, (v, score)) in response.ranking.iter().enumerate() {
+        println!("{},{},{:.8}", rank + 1, v, score);
+    }
+}
+
+fn print_session_stats(session: &Session<'_>) {
+    let stats = session.stats();
+    eprintln!(
+        "session served {} queries: {} net bytes, {:.4}s simulated, amortized partition cost {:.4}s/query",
+        stats.queries_served,
+        stats.total_network_bytes,
+        stats.total_simulated_seconds,
+        stats.amortized_partition_seconds(),
+    );
+}
+
+fn cmd_topk(args: &Args) -> Result<()> {
     let config = FrogWildConfig {
-        num_walkers: args
-            .get_parsed("walkers", 800_000u64, "an integer")
-            .map_err(|e| e.to_string())?,
-        iterations: args
-            .get_parsed("iterations", 4usize, "an integer")
-            .map_err(|e| e.to_string())?,
-        sync_probability: args
-            .get_parsed("ps", 0.7f64, "a probability in (0, 1]")
-            .map_err(|e| e.to_string())?,
-        seed: cluster.seed,
+        num_walkers: args.get_parsed("walkers", 800_000u64, "an integer")?,
+        iterations: args.get_parsed("iterations", 4usize, "an integer")?,
+        sync_probability: args.get_parsed("ps", 0.7f64, "a probability in (0, 1]")?,
+        seed: args.get_parsed("seed", 42, "an integer")?,
         parallel: args.has_flag("parallel"),
         ..FrogWildConfig::default()
     };
+    // Fail fast on a bad configuration before the (expensive) graph load + partition.
     config.validate()?;
-    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
-
-    let report = run_frogwild(&graph, &cluster, &config);
-    println!("# algorithm: {}", report.algorithm);
-    println!(
-        "# machines: {}, supersteps: {}, network bytes: {}, simulated time: {:.4}s",
-        cluster.num_machines,
-        report.cost.supersteps,
-        report.cost.network_bytes,
-        report.cost.simulated_total_seconds
-    );
-    println!("rank,vertex,estimated_mass");
-    for (rank, v) in report.top_k(k).into_iter().enumerate() {
-        println!("{},{},{:.8}", rank + 1, v, report.estimate[v as usize]);
+    let k: usize = args.get_parsed("k", 100, "an integer")?;
+    let repeat: usize = args.get_parsed("repeat", 1usize, "an integer")?;
+    if repeat == 0 {
+        return Err(Error::config("command line", "--repeat must be at least 1"));
     }
+
+    let graph = load_graph(args)?;
+    let mut session = session_over(args, &graph)?;
+    let mut last = None;
+    for _ in 0..repeat {
+        last = Some(session.query(&Query::TopK { k, config })?);
+    }
+    let response = last.expect("repeat >= 1");
+    print_response_header(&session, &response);
+    print_ranking(&response, "estimated_mass");
+    print_session_stats(&session);
     Ok(())
 }
 
-fn cmd_pagerank(args: &Args) -> Result<(), String> {
+fn cmd_pagerank(args: &Args) -> Result<()> {
     let graph = load_graph(args)?;
-    let cluster = cluster(args)?;
+    let mut session = session_over(args, &graph)?;
     let config = if args.has_flag("exact") {
         PageRankConfig::exact()
     } else {
-        PageRankConfig::truncated(
-            args.get_parsed("iterations", 2usize, "an integer")
-                .map_err(|e| e.to_string())?,
-        )
+        PageRankConfig::truncated(args.get_parsed("iterations", 2usize, "an integer")?)
     };
-    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
+    let k: usize = args.get_parsed("k", 100, "an integer")?;
 
-    let report = run_graphlab_pr(&graph, &cluster, &config);
-    println!("# algorithm: {}", report.algorithm);
-    println!(
-        "# machines: {}, supersteps: {}, network bytes: {}, simulated time: {:.4}s",
-        cluster.num_machines,
-        report.cost.supersteps,
-        report.cost.network_bytes,
-        report.cost.simulated_total_seconds
-    );
-    println!("rank,vertex,score");
-    for (rank, v) in report.top_k(k).into_iter().enumerate() {
-        println!("{},{},{:.8}", rank + 1, v, report.estimate[v as usize]);
-    }
+    let response = session.query(&Query::Pagerank { k, config })?;
+    print_response_header(&session, &response);
+    print_ranking(&response, "score");
+    print_session_stats(&session);
     Ok(())
 }
 
-fn cmd_autotune(args: &Args) -> Result<(), String> {
-    use frogwild::autotune::{auto_topk, AutoTuneConfig};
-
-    let graph = load_graph(args)?;
-    let cluster = cluster(args)?;
-    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
+fn cmd_autotune(args: &Args) -> Result<()> {
+    let k: usize = args.get_parsed("k", 100, "an integer")?;
     let config = AutoTuneConfig {
         k,
-        mass_loss_target: args
-            .get_parsed("loss", 0.05, "a positive number")
-            .map_err(|e| e.to_string())?,
-        failure_probability: args
-            .get_parsed("delta", 0.1, "a probability")
-            .map_err(|e| e.to_string())?,
-        sync_probability: args
-            .get_parsed("ps", 0.7, "a probability in (0, 1]")
-            .map_err(|e| e.to_string())?,
-        pilot_walkers: args
-            .get_parsed("pilot-walkers", 10_000u64, "an integer")
-            .map_err(|e| e.to_string())?,
-        seed: cluster.seed,
+        mass_loss_target: args.get_parsed("loss", 0.05, "a positive number")?,
+        failure_probability: args.get_parsed("delta", 0.1, "a probability")?,
+        sync_probability: args.get_parsed("ps", 0.7, "a probability in (0, 1]")?,
+        pilot_walkers: args.get_parsed("pilot-walkers", 10_000u64, "an integer")?,
+        seed: args.get_parsed("seed", 42, "an integer")?,
         ..AutoTuneConfig::default()
     };
+    // Fail fast on a bad configuration before the (expensive) graph load + partition.
     config.validate()?;
 
-    let report = auto_topk(&graph, &cluster, &config);
-    println!("# pilot: {} ({} bytes)", report.pilot.algorithm, report.pilot.cost.network_bytes);
-    println!(
-        "# plan: estimated top-{k} mass {:.4}, planned {} walkers / {} iterations",
-        report.estimated_topk_mass, report.planned_walkers, report.planned_iterations
-    );
-    println!(
-        "# final run: {} ({} bytes, {:.4}s simulated); pilot overhead {:.1}% of traffic",
-        report.run.algorithm,
-        report.run.cost.network_bytes,
-        report.run.cost.simulated_total_seconds,
-        report.pilot_overhead() * 100.0
-    );
-    println!("rank,vertex,estimated_mass");
-    for (rank, v) in report.run.top_k(k).into_iter().enumerate() {
-        println!("{},{},{:.8}", rank + 1, v, report.run.estimate[v as usize]);
+    let graph = load_graph(args)?;
+    let mut session = session_over(args, &graph)?;
+    let response = session.query(&Query::AutotunedTopK { config })?;
+    if let ResponseDetail::AutotunedTopK {
+        estimated_topk_mass,
+        planned_walkers,
+        planned_iterations,
+        pilot_network_bytes,
+    } = response.detail
+    {
+        println!(
+            "# plan: estimated top-{k} mass {estimated_topk_mass:.4}, planned {planned_walkers} walkers / {planned_iterations} iterations (pilot cost {pilot_network_bytes} bytes)"
+        );
     }
+    print_response_header(&session, &response);
+    print_ranking(&response, "estimated_mass");
+    print_session_stats(&session);
     Ok(())
 }
 
-fn cmd_ppr(args: &Args) -> Result<(), String> {
-    use frogwild::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
-
-    let graph = load_graph(args)?;
-    let source: u64 = args
-        .get_parsed("source", u64::MAX, "a vertex id")
-        .map_err(|e| e.to_string())?;
+fn cmd_ppr(args: &Args) -> Result<()> {
+    let source: u64 = args.get_parsed("source", u64::MAX, "a vertex id")?;
     if source == u64::MAX {
-        return Err("--source is required for the ppr command".to_string());
-    }
-    if source as usize >= graph.num_vertices() {
-        return Err(format!(
-            "--source {source} is out of range for a graph with {} vertices",
-            graph.num_vertices()
+        return Err(Error::config(
+            "command line",
+            "--source is required for the ppr command",
         ));
     }
-    let source = source as VertexId;
-    let k: usize = args.get_parsed("k", 20, "an integer").map_err(|e| e.to_string())?;
-    let method = args.get("method").unwrap_or("push");
-
-    let scores = match method {
-        "push" => {
-            let epsilon: f64 = args
-                .get_parsed("epsilon", 1e-7, "a positive number")
-                .map_err(|e| e.to_string())?;
-            let result = forward_push_ppr(&graph, source, 0.15, epsilon);
-            eprintln!(
-                "forward push: {} pushes, residual mass {:.6}",
-                result.pushes,
-                result.residual_mass()
-            );
-            result.estimate
+    let k: usize = args.get_parsed("k", 20, "an integer")?;
+    let method = match args.get("method").unwrap_or("push") {
+        "push" => PprMethod::ForwardPush {
+            epsilon: args.get_parsed("epsilon", 1e-7, "a positive number")?,
+        },
+        "exact" => PprMethod::PowerIteration {
+            max_iterations: 200,
+            tolerance: 1e-10,
+        },
+        other => {
+            return Err(Error::config(
+                "command line",
+                format!("unknown ppr method {other:?} (expected push or exact)"),
+            ))
         }
-        "exact" => {
-            let restart = single_source_restart(graph.num_vertices(), source);
-            let result = personalized_pagerank(&graph, &restart, 0.15, 200, 1e-10);
-            eprintln!(
-                "power iteration: {} iterations, residual {:.3e}",
-                result.iterations, result.residual
-            );
-            result.scores
-        }
-        other => return Err(format!("unknown ppr method {other:?} (expected push or exact)")),
     };
 
-    println!("# personalized PageRank from vertex {source} ({method})");
-    println!("rank,vertex,ppr");
-    for (rank, v) in top_k(&scores, k).into_iter().enumerate() {
-        println!("{},{},{:.8}", rank + 1, v, scores[v as usize]);
+    let graph = load_graph(args)?;
+    // Range-check on the raw u64 before narrowing: `--source` values past u32::MAX
+    // must not silently wrap onto a valid vertex id.
+    if source >= graph.num_vertices() as u64 {
+        return Err(Error::query(format!(
+            "--source {source} is out of range for a graph with {} vertices",
+            graph.num_vertices()
+        )));
     }
+
+    // PPR runs serially on the raw graph and never touches a partitioned layout, so a
+    // one-shot CLI query skips the session (and its O(|E|) partitioning) entirely.
+    // Library users serving PPR alongside engine queries use `Query::Ppr` on a session.
+    let response = frogwild::session::serve_ppr(&graph, source as VertexId, k, 0.15, method)?;
+    if let ResponseDetail::Ppr {
+        pushes,
+        iterations,
+        residual,
+    } = response.detail
+    {
+        match method {
+            PprMethod::ForwardPush { .. } => {
+                eprintln!("forward push: {pushes} pushes, residual mass {residual:.6}")
+            }
+            PprMethod::PowerIteration { .. } => {
+                eprintln!("power iteration: {iterations} iterations, residual {residual:.3e}")
+            }
+        }
+    }
+    println!("# {}", response.algorithm);
+    print_ranking(&response, "ppr");
     Ok(())
 }
 
-fn cmd_plan(args: &Args) -> Result<(), String> {
+fn cmd_plan(args: &Args) -> Result<()> {
     use frogwild::confidence::plan_walkers;
     use frogwild::theory::{recommended_iterations, recommended_walkers};
 
-    let k: usize = args.get_parsed("k", 100, "an integer").map_err(|e| e.to_string())?;
-    let vertices: usize = args
-        .get_parsed("vertices", 100_000, "an integer")
-        .map_err(|e| e.to_string())?;
-    let mass: f64 = args
-        .get_parsed("mass", 0.1, "a probability")
-        .map_err(|e| e.to_string())?;
-    let loss: f64 = args
-        .get_parsed("loss", 0.02, "a positive number")
-        .map_err(|e| e.to_string())?;
-    let delta: f64 = args
-        .get_parsed("delta", 0.1, "a probability")
-        .map_err(|e| e.to_string())?;
-    if k == 0 || !(0.0..=1.0).contains(&mass) || mass <= 0.0 || loss <= 0.0 || !(0.0..1.0).contains(&delta) || delta <= 0.0 {
-        return Err("plan: k must be positive, mass/delta in (0, 1), loss positive".to_string());
+    let k: usize = args.get_parsed("k", 100, "an integer")?;
+    let vertices: usize = args.get_parsed("vertices", 100_000, "an integer")?;
+    let mass: f64 = args.get_parsed("mass", 0.1, "a probability")?;
+    let loss: f64 = args.get_parsed("loss", 0.02, "a positive number")?;
+    let delta: f64 = args.get_parsed("delta", 0.1, "a probability")?;
+    if k == 0 {
+        return Err(Error::config("command line", "--k must be positive"));
+    }
+    let mass_ok = mass > 0.0 && mass <= 1.0;
+    let delta_ok = delta > 0.0 && delta < 1.0;
+    if !mass_ok || !delta_ok || loss <= 0.0 {
+        return Err(Error::config(
+            "command line",
+            "--mass and --delta must be in (0, 1), --loss positive",
+        ));
     }
 
     let plan = plan_walkers(k, vertices, mass, loss, delta);
     println!("# walker-budget plan for top-{k} on {vertices} vertices");
     println!("quantity,value");
     println!("walkers_theorem1_sampling_term,{}", plan.walkers_for_mass);
-    println!("walkers_per_vertex_frequency_term,{}", plan.walkers_for_frequency);
+    println!(
+        "walkers_per_vertex_frequency_term,{}",
+        plan.walkers_for_frequency
+    );
     println!("walkers_recommended,{}", plan.recommended);
     println!("walkers_remark6_scaling,{}", recommended_walkers(k, mass));
     println!(
@@ -350,7 +387,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<()> {
     let graph = load_graph(args)?;
     let out = degree_summary(&graph, Direction::Out);
     let inn = degree_summary(&graph, Direction::In);
@@ -371,10 +408,11 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    let out = args.require("out").map_err(|e| e.to_string())?.to_string();
+fn cmd_generate(args: &Args) -> Result<()> {
+    let out = args.require("out")?.to_string();
     let graph = load_graph(args)?;
-    write_edge_list_file(&graph, &out).map_err(|e| format!("could not write {out}: {e}"))?;
+    write_edge_list_file(&graph, &out)
+        .map_err(|e| Error::graph(format!("could not write {out}: {e}")))?;
     eprintln!("wrote {out}");
     Ok(())
 }

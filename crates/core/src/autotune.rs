@@ -17,9 +17,10 @@ use frogwild_engine::{ClusterConfig, PartitionedGraph};
 use frogwild_graph::DiGraph;
 use serde::{Deserialize, Serialize};
 
-use crate::config::FrogWildConfig;
 use crate::confidence::{plan_walkers, WalkerPlan};
+use crate::config::{in_half_open_unit_interval, in_open_unit_interval, FrogWildConfig};
 use crate::driver::{partition_graph, run_frogwild_on, RunReport};
+use crate::error::Error;
 use crate::theory::recommended_iterations;
 
 /// Tuning knobs for [`auto_topk`]. The defaults are deliberately conservative; every
@@ -65,28 +66,36 @@ impl Default for AutoTuneConfig {
 }
 
 impl AutoTuneConfig {
-    /// Validates the configuration, returning a description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning the first problem found as a typed
+    /// [`Error::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), Error> {
+        const CTX: &str = "AutoTuneConfig";
         if self.k == 0 {
-            return Err("k must be positive".into());
+            return Err(Error::config(CTX, "k must be positive"));
         }
         if self.mass_loss_target <= 0.0 {
-            return Err("mass_loss_target must be positive".into());
+            return Err(Error::config(CTX, "mass_loss_target must be positive"));
         }
-        if !(0.0..1.0).contains(&self.failure_probability) || self.failure_probability <= 0.0 {
-            return Err("failure_probability must be in (0, 1)".into());
+        if !in_open_unit_interval(self.failure_probability) {
+            return Err(Error::config(CTX, "failure_probability must be in (0, 1)"));
         }
         if self.pilot_walkers == 0 || self.pilot_iterations == 0 {
-            return Err("pilot must use at least one walker and one iteration".into());
+            return Err(Error::config(
+                CTX,
+                "pilot must use at least one walker and one iteration",
+            ));
         }
-        if !(0.0..=1.0).contains(&self.sync_probability) || self.sync_probability <= 0.0 {
-            return Err("sync_probability must be in (0, 1]".into());
+        if !in_half_open_unit_interval(self.sync_probability) {
+            return Err(Error::config(CTX, "sync_probability must be in (0, 1]"));
         }
         if self.max_walkers < self.pilot_walkers {
-            return Err("max_walkers must be at least pilot_walkers".into());
+            return Err(Error::config(
+                CTX,
+                "max_walkers must be at least pilot_walkers",
+            ));
         }
         if self.max_iterations == 0 {
-            return Err("max_iterations must be positive".into());
+            return Err(Error::config(CTX, "max_iterations must be positive"));
         }
         Ok(())
     }
@@ -130,18 +139,40 @@ impl AutoTuneReport {
 }
 
 /// Runs the pilot → plan → run pipeline on a freshly partitioned cluster.
-pub fn auto_topk(graph: &DiGraph, cluster: &ClusterConfig, config: &AutoTuneConfig) -> AutoTuneReport {
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid. Prefer
+/// [`Session`](crate::session::Session) with
+/// [`Query::AutotunedTopK`](crate::session::Query::AutotunedTopK), which returns a
+/// typed error instead and reuses the partitioned layout across queries.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `frogwild::session::Session` and issue `Query::AutotunedTopK`, or call `auto_topk_on` with an explicit partitioned graph"
+)]
+pub fn auto_topk(
+    graph: &DiGraph,
+    cluster: &ClusterConfig,
+    config: &AutoTuneConfig,
+) -> AutoTuneReport {
     let pg = partition_graph(graph, cluster);
-    auto_topk_on(&pg, config)
+    match auto_topk_on(&pg, config) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs the pilot → plan → run pipeline on an already partitioned graph.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is invalid.
-pub fn auto_topk_on(pg: &PartitionedGraph, config: &AutoTuneConfig) -> AutoTuneReport {
-    config.validate().expect("invalid auto-tune configuration");
+/// Returns [`Error::InvalidConfig`] when the configuration fails
+/// [`AutoTuneConfig::validate`].
+pub fn auto_topk_on(
+    pg: &PartitionedGraph,
+    config: &AutoTuneConfig,
+) -> Result<AutoTuneReport, Error> {
+    config.validate()?;
 
     // ------------------------------------------------------------------ 1. pilot
     let pilot = run_frogwild_on(
@@ -153,7 +184,7 @@ pub fn auto_topk_on(pg: &PartitionedGraph, config: &AutoTuneConfig) -> AutoTuneR
             seed: config.seed ^ 0x9107,
             ..FrogWildConfig::default()
         },
-    );
+    )?;
     let pilot_top = pilot.top_k(config.k);
     let estimated_topk_mass: f64 = pilot_top
         .iter()
@@ -186,16 +217,16 @@ pub fn auto_topk_on(pg: &PartitionedGraph, config: &AutoTuneConfig) -> AutoTuneR
             seed: config.seed,
             ..FrogWildConfig::default()
         },
-    );
+    )?;
 
-    AutoTuneReport {
+    Ok(AutoTuneReport {
         pilot,
         estimated_topk_mass,
         plan,
         planned_walkers,
         planned_iterations,
         run,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -222,10 +253,30 @@ mod tests {
     fn validation_rejects_bad_configs() {
         let base = AutoTuneConfig::default();
         assert!(AutoTuneConfig { k: 0, ..base }.validate().is_err());
-        assert!(AutoTuneConfig { mass_loss_target: 0.0, ..base }.validate().is_err());
-        assert!(AutoTuneConfig { failure_probability: 1.0, ..base }.validate().is_err());
-        assert!(AutoTuneConfig { pilot_walkers: 0, ..base }.validate().is_err());
-        assert!(AutoTuneConfig { sync_probability: 0.0, ..base }.validate().is_err());
+        assert!(AutoTuneConfig {
+            mass_loss_target: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(AutoTuneConfig {
+            failure_probability: 1.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(AutoTuneConfig {
+            pilot_walkers: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(AutoTuneConfig {
+            sync_probability: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
         assert!(AutoTuneConfig {
             max_walkers: 10,
             pilot_walkers: 100,
@@ -233,7 +284,12 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(AutoTuneConfig { max_iterations: 0, ..base }.validate().is_err());
+        assert!(AutoTuneConfig {
+            max_iterations: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -248,7 +304,7 @@ mod tests {
             mass_loss_target: 0.05,
             ..AutoTuneConfig::default()
         };
-        let report = auto_topk(&graph, &cluster, &config);
+        let report = auto_topk_on(&partition_graph(&graph, &cluster), &config).unwrap();
 
         assert!(report.planned_walkers >= config.pilot_walkers);
         assert!(report.planned_walkers <= config.max_walkers);
@@ -256,7 +312,8 @@ mod tests {
         assert!(report.planned_iterations <= config.max_iterations);
         assert!(report.estimated_topk_mass > 0.0 && report.estimated_topk_mass <= 1.0);
 
-        let pilot_mass = mass_captured(&report.pilot.estimate, &truth.scores, config.k).normalized();
+        let pilot_mass =
+            mass_captured(&report.pilot.estimate, &truth.scores, config.k).normalized();
         let final_mass = mass_captured(&report.run.estimate, &truth.scores, config.k).normalized();
         assert!(
             final_mass >= pilot_mass - 0.02,
@@ -285,7 +342,7 @@ mod tests {
             max_iterations: 5,
             ..AutoTuneConfig::default()
         };
-        let report = auto_topk(&graph, &cluster, &config);
+        let report = auto_topk_on(&partition_graph(&graph, &cluster), &config).unwrap();
         assert_eq!(report.planned_walkers, 50_000);
         assert!(report.planned_iterations <= 5);
     }

@@ -86,7 +86,10 @@ pub fn required_walkers(epsilon: f64, num_vertices: usize, failure_probability: 
 /// outside `(0, 1)`.
 pub fn wilson_interval(count: u64, num_walkers: u64, failure_probability: f64) -> Interval {
     assert!(num_walkers > 0, "need at least one walker");
-    assert!(count <= num_walkers, "count cannot exceed the number of walkers");
+    assert!(
+        count <= num_walkers,
+        "count cannot exceed the number of walkers"
+    );
     assert!(
         failure_probability > 0.0 && failure_probability < 1.0,
         "failure probability must be in (0, 1)"
@@ -185,8 +188,11 @@ pub fn plan_walkers(
     // Per-vertex resolution: the k-th heaviest vertex holds at least optimal_mass / k;
     // we want frequencies resolved to a quarter of that value.
     let per_vertex_resolution = (optimal_mass / k as f64) / 4.0;
-    let walkers_for_frequency =
-        required_walkers(per_vertex_resolution.min(0.5), num_vertices, failure_probability);
+    let walkers_for_frequency = required_walkers(
+        per_vertex_resolution.min(0.5),
+        num_vertices,
+        failure_probability,
+    );
     WalkerPlan {
         walkers_for_mass,
         walkers_for_frequency,
@@ -365,7 +371,10 @@ mod tests {
     #[test]
     fn plan_walkers_scales_like_remark6() {
         let base = plan_walkers(100, 1_000_000, 0.3, 0.05, 0.1);
-        assert_eq!(base.recommended, base.walkers_for_mass.max(base.walkers_for_frequency));
+        assert_eq!(
+            base.recommended,
+            base.walkers_for_mass.max(base.walkers_for_frequency)
+        );
         // Quadrupling k quadruples the mass term.
         let more_k = plan_walkers(400, 1_000_000, 0.3, 0.05, 0.1);
         assert_eq!(more_k.walkers_for_mass, 4 * base.walkers_for_mass);

@@ -3,6 +3,18 @@
 use frogwild_engine::SyncPolicy;
 use serde::{Deserialize, Serialize};
 
+use crate::error::Error;
+
+/// `true` when `p` lies in the open interval `(0, 1)`.
+pub(crate) fn in_open_unit_interval(p: f64) -> bool {
+    p > 0.0 && p < 1.0
+}
+
+/// `true` when `p` lies in the half-open interval `(0, 1]`.
+pub(crate) fn in_half_open_unit_interval(p: f64) -> bool {
+    p > 0.0 && p <= 1.0
+}
+
 /// The teleportation probability the paper (and the original PageRank paper) uses.
 pub const DEFAULT_TELEPORT: f64 = 0.15;
 
@@ -57,24 +69,37 @@ impl FrogWildConfig {
         SyncPolicy::frogwild(self.sync_probability)
     }
 
-    /// Validates the configuration, returning a description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning the first problem found as a typed
+    /// [`Error::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), Error> {
         if self.num_walkers == 0 {
-            return Err("num_walkers must be positive".into());
-        }
-        if self.iterations == 0 {
-            return Err("iterations must be positive".into());
-        }
-        if !(0.0..1.0).contains(&self.teleport_probability) || self.teleport_probability <= 0.0 {
-            return Err(format!(
-                "teleport_probability must be in (0, 1), got {}",
-                self.teleport_probability
+            return Err(Error::config(
+                "FrogWildConfig",
+                "num_walkers must be positive",
             ));
         }
-        if !(0.0..=1.0).contains(&self.sync_probability) || self.sync_probability <= 0.0 {
-            return Err(format!(
-                "sync_probability must be in (0, 1], got {}",
-                self.sync_probability
+        if self.iterations == 0 {
+            return Err(Error::config(
+                "FrogWildConfig",
+                "iterations must be positive",
+            ));
+        }
+        if !in_open_unit_interval(self.teleport_probability) {
+            return Err(Error::config(
+                "FrogWildConfig",
+                format!(
+                    "teleport_probability must be in (0, 1), got {}",
+                    self.teleport_probability
+                ),
+            ));
+        }
+        if !in_half_open_unit_interval(self.sync_probability) {
+            return Err(Error::config(
+                "FrogWildConfig",
+                format!(
+                    "sync_probability must be in (0, 1], got {}",
+                    self.sync_probability
+                ),
             ));
         }
         Ok(())
@@ -132,19 +157,29 @@ impl PageRankConfig {
         }
     }
 
-    /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning the first problem found as a typed
+    /// [`Error::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), Error> {
         if self.max_iterations == 0 {
-            return Err("max_iterations must be positive".into());
+            return Err(Error::config(
+                "PageRankConfig",
+                "max_iterations must be positive",
+            ));
         }
-        if !(0.0..1.0).contains(&self.teleport_probability) || self.teleport_probability <= 0.0 {
-            return Err(format!(
-                "teleport_probability must be in (0, 1), got {}",
-                self.teleport_probability
+        if !in_open_unit_interval(self.teleport_probability) {
+            return Err(Error::config(
+                "PageRankConfig",
+                format!(
+                    "teleport_probability must be in (0, 1), got {}",
+                    self.teleport_probability
+                ),
             ));
         }
         if self.tolerance < 0.0 {
-            return Err("tolerance must be non-negative".into());
+            return Err(Error::config(
+                "PageRankConfig",
+                "tolerance must be non-negative",
+            ));
         }
         Ok(())
     }

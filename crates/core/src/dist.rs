@@ -35,7 +35,10 @@ pub fn geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
 ///
 /// Panics unless `0 <= p <= 1`.
 pub fn binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
-    assert!((0.0..=1.0).contains(&p), "binomial probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "binomial probability must be in [0, 1]"
+    );
     if n == 0 || p == 0.0 {
         return 0;
     }
@@ -95,7 +98,10 @@ mod tests {
         let sum: u64 = (0..n).map(|_| geometric(p, &mut rng)).sum();
         let mean = sum as f64 / n as f64;
         let expected = (1.0 - p) / p; // ≈ 5.67
-        assert!((mean - expected).abs() < 0.1, "mean {mean}, expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.1,
+            "mean {mean}, expected {expected}"
+        );
     }
 
     #[test]
@@ -150,7 +156,10 @@ mod tests {
         let mean = sum / trials as f64;
         let expected = n as f64 * p;
         // standard error of the mean ≈ sqrt(np(1-p)/trials) ≈ 3.5
-        assert!((mean - expected).abs() < 20.0, "mean {mean}, expected {expected}");
+        assert!(
+            (mean - expected).abs() < 20.0,
+            "mean {mean}, expected {expected}"
+        );
     }
 
     #[test]

@@ -1,11 +1,18 @@
-//! One-call experiment drivers.
+//! Experiment drivers: the low-level layer underneath [`crate::session`].
 //!
 //! These functions wire together graph partitioning, the engine, and the vertex
 //! programs, and return a [`RunReport`] holding both the PageRank estimate and the cost
 //! metrics (simulated time, network bytes, CPU work) that the paper's figures plot.
 //!
 //! For parameter sweeps that reuse one cluster layout (e.g. sweeping `p_s` at a fixed
-//! machine count), partition once with [`partition_graph`] and call the `*_on` variants.
+//! machine count), partition once with [`partition_graph`] and call the fallible `*_on`
+//! variants; they validate the configuration and return a typed [`Error`] instead of
+//! panicking. Applications that serve a *query stream* should use
+//! [`Session`](crate::session::Session) instead, which owns the partitioned layout,
+//! answers [`Query`](crate::session::Query) values, and tracks cumulative amortized
+//! cost. The one-shot free functions ([`run_frogwild`], [`run_graphlab_pr`],
+//! [`run_sparsified_pr`]) re-partition the graph on every call and are deprecated in
+//! favour of the session API.
 
 use frogwild_engine::{
     ClusterConfig, CostModel, Engine, EngineConfig, InitialActivation, ObliviousPartitioner,
@@ -18,6 +25,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{FrogWildConfig, PageRankConfig};
+use crate::error::Error;
 use crate::programs::{FrogWildProgram, PageRankProgram};
 use crate::topk::normalize;
 
@@ -86,23 +94,46 @@ impl RunReport {
 /// Partitions `graph` over the cluster with the default (oblivious / greedy) ingress,
 /// matching GraphLab's default.
 pub fn partition_graph(graph: &DiGraph, cluster: &ClusterConfig) -> PartitionedGraph {
-    PartitionedGraph::build(graph, cluster.num_machines, &ObliviousPartitioner, cluster.seed)
+    PartitionedGraph::build(
+        graph,
+        cluster.num_machines,
+        &ObliviousPartitioner,
+        cluster.seed,
+    )
 }
 
 /// Runs FrogWild on `graph` over a freshly partitioned simulated cluster.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid. Prefer
+/// [`Session`](crate::session::Session) with
+/// [`Query::TopK`](crate::session::Query::TopK), which partitions once, serves many
+/// queries, and returns a typed error instead of panicking.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `frogwild::session::Session` and issue `Query::TopK`, or call `run_frogwild_on` with an explicit partitioned graph"
+)]
 pub fn run_frogwild(
     graph: &DiGraph,
     cluster: &ClusterConfig,
     config: &FrogWildConfig,
 ) -> RunReport {
     let pg = partition_graph(graph, cluster);
-    run_frogwild_on(&pg, config)
+    match run_frogwild_on(&pg, config) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs FrogWild on an already partitioned graph (reuse the layout across sweeps).
-pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> RunReport {
-    config.validate().expect("invalid FrogWild configuration");
-    let program = FrogWildProgram::new(config);
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the configuration fails
+/// [`FrogWildConfig::validate`].
+pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> Result<RunReport, Error> {
+    let program = FrogWildProgram::new(config)?;
     let engine_config = EngineConfig {
         sync_policy: config.sync_policy(),
         cost_model: CostModel::default(),
@@ -111,7 +142,7 @@ pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> RunRep
         parallel: config.parallel,
     };
     let cost_model = engine_config.cost_model;
-    let engine = Engine::new(pg, program, engine_config);
+    let engine = Engine::new(pg, program, engine_config)?;
 
     // Walkers are born on uniformly random vertices; each machine creates its own share
     // locally, so the initial placement costs no network traffic.
@@ -141,7 +172,7 @@ pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> RunRep
     normalize(&mut estimate);
 
     let cost = CostSummary::from_metrics(&output.metrics, &cost_model);
-    RunReport {
+    Ok(RunReport {
         algorithm: format!(
             "FrogWild ps={} iters={} walkers={}",
             config.sync_probability, config.iterations, config.num_walkers
@@ -149,24 +180,44 @@ pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> RunRep
         estimate,
         metrics: output.metrics,
         cost,
-    }
+    })
 }
 
 /// Runs the baseline GraphLab-style PageRank on `graph` over a freshly partitioned
 /// simulated cluster.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid. Prefer
+/// [`Session`](crate::session::Session) with
+/// [`Query::Pagerank`](crate::session::Query::Pagerank).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `frogwild::session::Session` and issue `Query::Pagerank`, or call `run_graphlab_pr_on` with an explicit partitioned graph"
+)]
 pub fn run_graphlab_pr(
     graph: &DiGraph,
     cluster: &ClusterConfig,
     config: &PageRankConfig,
 ) -> RunReport {
     let pg = partition_graph(graph, cluster);
-    run_graphlab_pr_on(&pg, config)
+    match run_graphlab_pr_on(&pg, config) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs the baseline PageRank on an already partitioned graph.
-pub fn run_graphlab_pr_on(pg: &PartitionedGraph, config: &PageRankConfig) -> RunReport {
-    config.validate().expect("invalid PageRank configuration");
-    let program = PageRankProgram::new(config);
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the configuration fails
+/// [`PageRankConfig::validate`].
+pub fn run_graphlab_pr_on(
+    pg: &PartitionedGraph,
+    config: &PageRankConfig,
+) -> Result<RunReport, Error> {
+    let program = PageRankProgram::new(config)?;
     let engine_config = EngineConfig {
         sync_policy: SyncPolicy::Full,
         cost_model: CostModel::default(),
@@ -175,7 +226,7 @@ pub fn run_graphlab_pr_on(pg: &PartitionedGraph, config: &PageRankConfig) -> Run
         parallel: config.parallel,
     };
     let cost_model = engine_config.cost_model;
-    let engine = Engine::new(pg, program, engine_config);
+    let engine = Engine::new(pg, program, engine_config)?;
     let output = engine.run(InitialActivation::AllVertices);
 
     let mut estimate: Vec<f64> = output.states.iter().map(|s| s.rank).collect();
@@ -187,32 +238,49 @@ pub fn run_graphlab_pr_on(pg: &PartitionedGraph, config: &PageRankConfig) -> Run
     } else {
         format!("GraphLab PR {} iters", config.max_iterations)
     };
-    RunReport {
+    Ok(RunReport {
         algorithm: label,
         estimate,
         metrics: output.metrics,
         cost,
-    }
+    })
 }
 
 /// The Figure 5 baseline: uniformly sparsify the graph (keep each edge with probability
 /// `keep_probability`), then run the truncated PageRank on the sparsified graph over
 /// the same cluster. The returned estimate indexes the *original* vertex set, so it can
 /// be scored against the original graph's exact PageRank directly.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the PageRank configuration is invalid or
+/// `keep_probability` lies outside `[0, 1]`.
 pub fn run_sparsified_pr(
     graph: &DiGraph,
     cluster: &ClusterConfig,
     keep_probability: f64,
     config: &PageRankConfig,
-) -> RunReport {
+) -> Result<RunReport, Error> {
+    if !(0.0..=1.0).contains(&keep_probability) {
+        return Err(Error::config(
+            "run_sparsified_pr",
+            format!("keep_probability must be in [0, 1], got {keep_probability}"),
+        ));
+    }
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5710_51F7);
-    let sparsified = uniform_sparsify(graph, keep_probability, SparsifyMode::KeepAtLeastOne, &mut rng);
-    let mut report = run_graphlab_pr(&sparsified, cluster, config);
+    let sparsified = uniform_sparsify(
+        graph,
+        keep_probability,
+        SparsifyMode::KeepAtLeastOne,
+        &mut rng,
+    );
+    let pg = partition_graph(&sparsified, cluster);
+    let mut report = run_graphlab_pr_on(&pg, config)?;
     report.algorithm = format!(
         "Sparsified PR q={} {} iters",
         keep_probability, config.max_iterations
     );
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -240,7 +308,7 @@ mod tests {
             iterations: 4,
             ..FrogWildConfig::default()
         };
-        let report = run_frogwild(&g, &small_cluster(), &config);
+        let report = run_frogwild_on(&partition_graph(&g, &small_cluster()), &config).unwrap();
         let total: f64 = report.estimate.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert_eq!(report.cost.supersteps, 4);
@@ -256,7 +324,7 @@ mod tests {
             iterations: 4,
             ..FrogWildConfig::default()
         };
-        let report = run_frogwild(&g, &small_cluster(), &config);
+        let report = run_frogwild_on(&partition_graph(&g, &small_cluster()), &config).unwrap();
         assert_eq!(report.top_k(1), vec![0]);
     }
 
@@ -269,7 +337,7 @@ mod tests {
             iterations: 5,
             ..FrogWildConfig::default()
         };
-        let report = run_frogwild(&g, &small_cluster(), &config);
+        let report = run_frogwild_on(&partition_graph(&g, &small_cluster()), &config).unwrap();
         let m = mass_captured(&report.estimate, &exact.scores, 30);
         assert!(m.normalized() > 0.85, "captured {}", m.normalized());
     }
@@ -285,14 +353,15 @@ mod tests {
             iterations: 4,
             ..FrogWildConfig::default()
         };
-        let full = run_frogwild_on(&pg, &base);
+        let full = run_frogwild_on(&pg, &base).unwrap();
         let partial = run_frogwild_on(
             &pg,
             &FrogWildConfig {
                 sync_probability: 0.2,
                 ..base
             },
-        );
+        )
+        .unwrap();
         assert!(
             partial.cost.network_bytes < full.cost.network_bytes,
             "partial {} vs full {}",
@@ -308,7 +377,11 @@ mod tests {
     fn graphlab_pr_converges_to_exact_pagerank() {
         let g = test_graph(300);
         let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
-        let report = run_graphlab_pr(&g, &small_cluster(), &PageRankConfig::exact());
+        let report = run_graphlab_pr_on(
+            &partition_graph(&g, &small_cluster()),
+            &PageRankConfig::exact(),
+        )
+        .unwrap();
         let m = mass_captured(&report.estimate, &exact.scores, 30);
         assert!(m.normalized() > 0.999, "captured {}", m.normalized());
         let ident = exact_identification(&report.estimate, &exact.scores, 30);
@@ -321,11 +394,15 @@ mod tests {
         let g = test_graph(400);
         let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
         let cluster = small_cluster();
-        let one = run_graphlab_pr(&g, &cluster, &PageRankConfig::truncated(1));
-        let two = run_graphlab_pr(&g, &cluster, &PageRankConfig::truncated(2));
+        let pg = partition_graph(&g, &cluster);
+        let one = run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1)).unwrap();
+        let two = run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2)).unwrap();
         let m1 = mass_captured(&one.estimate, &exact.scores, 30).normalized();
         let m2 = mass_captured(&two.estimate, &exact.scores, 30).normalized();
-        assert!(m2 >= m1 - 0.02, "2 iters ({m2}) should not be worse than 1 iter ({m1})");
+        assert!(
+            m2 >= m1 - 0.02,
+            "2 iters ({m2}) should not be worse than 1 iter ({m1})"
+        );
         assert!(m1 < 0.999, "1 iteration should not be exact");
         assert_eq!(one.cost.supersteps, 1);
         assert_eq!(two.cost.supersteps, 2);
@@ -344,8 +421,17 @@ mod tests {
                 sync_probability: 0.4,
                 ..FrogWildConfig::default()
             },
-        );
-        let pr = run_graphlab_pr_on(&pg, &PageRankConfig { max_iterations: 20, tolerance: 1e-9, ..PageRankConfig::default() });
+        )
+        .unwrap();
+        let pr = run_graphlab_pr_on(
+            &pg,
+            &PageRankConfig {
+                max_iterations: 20,
+                tolerance: 1e-9,
+                ..PageRankConfig::default()
+            },
+        )
+        .unwrap();
         assert!(
             fw.cost.network_bytes < pr.cost.network_bytes,
             "FrogWild {} bytes vs PR {} bytes",
@@ -364,7 +450,8 @@ mod tests {
     fn sparsified_pr_runs_and_scores_against_original_graph() {
         let g = test_graph(400);
         let exact = exact_pagerank(&g, 0.15, 200, 1e-12);
-        let report = run_sparsified_pr(&g, &small_cluster(), 0.7, &PageRankConfig::truncated(2));
+        let report =
+            run_sparsified_pr(&g, &small_cluster(), 0.7, &PageRankConfig::truncated(2)).unwrap();
         assert_eq!(report.estimate.len(), g.num_vertices());
         let m = mass_captured(&report.estimate, &exact.scores, 30);
         assert!(m.normalized() > 0.5, "captured {}", m.normalized());
@@ -382,7 +469,7 @@ mod tests {
             sync_probability: 0.7,
             ..FrogWildConfig::default()
         };
-        let report = run_frogwild(&g, &small_cluster(), &config);
+        let report = run_frogwild_on(&partition_graph(&g, &small_cluster()), &config).unwrap();
         let m = mass_captured(&report.estimate, &exact.scores, 30);
         assert!(m.normalized() > 0.75, "captured {}", m.normalized());
     }
@@ -398,8 +485,15 @@ mod tests {
             sync_probability: 0.4,
             ..FrogWildConfig::default()
         };
-        let serial = run_frogwild_on(&pg, &base);
-        let parallel = run_frogwild_on(&pg, &FrogWildConfig { parallel: true, ..base });
+        let serial = run_frogwild_on(&pg, &base).unwrap();
+        let parallel = run_frogwild_on(
+            &pg,
+            &FrogWildConfig {
+                parallel: true,
+                ..base
+            },
+        )
+        .unwrap();
         assert_eq!(serial.estimate, parallel.estimate);
         assert_eq!(serial.cost.network_bytes, parallel.cost.network_bytes);
     }

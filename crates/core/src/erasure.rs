@@ -156,7 +156,15 @@ mod tests {
     fn estimator_is_a_distribution() {
         let g = star(40);
         let mut rng = SmallRng::seed_from_u64(1);
-        let est = erasure_walk_pagerank(&g, 5_000, 6, 0.15, 0.5, ErasureModel::AtLeastOneOutEdge, &mut rng);
+        let est = erasure_walk_pagerank(
+            &g,
+            5_000,
+            6,
+            0.15,
+            0.5,
+            ErasureModel::AtLeastOneOutEdge,
+            &mut rng,
+        );
         let total: f64 = est.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
     }
@@ -168,7 +176,15 @@ mod tests {
         // be statistically indistinguishable (small l1 distance).
         let mut rng = SmallRng::seed_from_u64(2);
         let g = rmat(300, RmatParams::default(), &mut rng);
-        let a = erasure_walk_pagerank(&g, 60_000, 8, 0.15, 1.0, ErasureModel::AtLeastOneOutEdge, &mut rng);
+        let a = erasure_walk_pagerank(
+            &g,
+            60_000,
+            8,
+            0.15,
+            1.0,
+            ErasureModel::AtLeastOneOutEdge,
+            &mut rng,
+        );
         let b = serial_random_walk_pagerank(&g, 60_000, 8, 0.15, &mut rng);
         assert!(l1_distance(&a, &b) < 0.15, "l1 {}", l1_distance(&a, &b));
     }
@@ -186,7 +202,15 @@ mod tests {
         let mut aggregate = vec![0.0; g.num_vertices()];
         let runs = 40_000;
         for _ in 0..runs {
-            let est = erasure_walk_pagerank(&g, 1, 8, 0.15, 0.3, ErasureModel::AtLeastOneOutEdge, &mut rng);
+            let est = erasure_walk_pagerank(
+                &g,
+                1,
+                8,
+                0.15,
+                0.3,
+                ErasureModel::AtLeastOneOutEdge,
+                &mut rng,
+            );
             for (a, e) in aggregate.iter_mut().zip(est) {
                 *a += e / runs as f64;
             }
@@ -221,7 +245,15 @@ mod tests {
     fn independent_model_can_block_walkers_but_conserves_them() {
         let g = star(30);
         let mut rng = SmallRng::seed_from_u64(5);
-        let est = erasure_walk_pagerank(&g, 10_000, 5, 0.15, 0.05, ErasureModel::Independent, &mut rng);
+        let est = erasure_walk_pagerank(
+            &g,
+            10_000,
+            5,
+            0.15,
+            0.05,
+            ErasureModel::Independent,
+            &mut rng,
+        );
         let total: f64 = est.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
     }

@@ -1,0 +1,12 @@
+//! The crate-wide typed error.
+//!
+//! [`Error`] is defined in `frogwild_graph` (the bottom of the workspace dependency
+//! stack) and re-exported here as the canonical `frogwild::Error`. Every validator,
+//! driver, and [`Session`](crate::session::Session) query in the workspace reports
+//! failures through it, so callers can match on the failure domain — configuration,
+//! graph, partitioning, or query — instead of parsing strings.
+
+pub use frogwild_graph::Error;
+
+/// Convenient result alias for fallible `frogwild` operations.
+pub type Result<T> = std::result::Result<T, Error>;

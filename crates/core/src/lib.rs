@@ -10,13 +10,61 @@
 //! engine's network traffic roughly proportionally while provably (Theorem 1) keeping
 //! the captured PageRank mass close to optimal.
 //!
+//! ## Quick start: the `Session` query service
+//!
+//! The primary API is [`session::Session`]: build it once (the graph is partitioned
+//! across the simulated cluster exactly once, at `build()`), then serve any number of
+//! typed [`session::Query`] values — global top-k, the PageRank baseline, personalized
+//! PageRank, or the self-tuning pilot→plan→run pipeline — through one
+//! [`session::Response`] surface. Failures are typed ([`Error`]), never panics.
+//!
+//! ```
+//! use frogwild::prelude::*;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // A small synthetic social graph.
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let graph = frogwild_graph::generators::livejournal_like(2_000, &mut rng);
+//!
+//! // Partition once over a simulated 8-machine cluster.
+//! let mut session = Session::builder(&graph)
+//!     .machines(8)
+//!     .partitioner(PartitionerKind::Oblivious)
+//!     .seed(42)
+//!     .build()?;
+//!
+//! // Serve queries: every call reuses the vertex-cut built above.
+//! let config = FrogWildConfig {
+//!     num_walkers: 20_000,
+//!     iterations: 4,
+//!     sync_probability: 0.7,
+//!     ..FrogWildConfig::default()
+//! };
+//! let response = session.query(&Query::TopK { k: 20, config })?;
+//! assert_eq!(response.ranking.len(), 20);
+//! assert_eq!(response.cost.partition_seconds, 0.0); // amortized at build()
+//!
+//! // Compare the estimate against exact PageRank.
+//! let exact = exact_pagerank(&graph, 0.15, 100, 1e-12);
+//! let accuracy = mass_captured(&response.estimate, &exact.scores, 20);
+//! assert!(accuracy.normalized() > 0.6);
+//!
+//! // The session tracks the cumulative, amortized economics of the stream.
+//! assert_eq!(session.stats().queries_served, 1);
+//! # Ok::<(), frogwild::Error>(())
+//! ```
+//!
 //! The crate is organised as follows:
 //!
+//! * [`session`] — the persistent, queryable PageRank service (the API above).
+//! * [`error`] — the crate-wide typed [`Error`] every fallible path returns.
 //! * [`config`] — experiment configuration ([`FrogWildConfig`], [`PageRankConfig`]).
 //! * [`programs`] — the two vertex programs run on the simulated engine: the FrogWild
 //!   walker program and the standard GraphLab-style PageRank.
-//! * [`reference`] — serial reference implementations (exact power iteration, serial
-//!   Monte-Carlo walkers) used as ground truth in tests and accuracy metrics.
+//! * [`reference`](mod@crate::reference) — serial reference implementations (exact
+//!   power iteration, serial Monte-Carlo walkers) used as ground truth in tests and
+//!   accuracy metrics.
 //! * [`metrics`] — the paper's two accuracy metrics, *mass captured* and *exact
 //!   identification*, plus generic top-k utilities ([`topk`]).
 //! * [`theory`] — the paper's analytical bounds (Theorem 1, Theorem 2, Proposition 7)
@@ -31,49 +79,43 @@
 //! * [`confidence`] — per-vertex confidence intervals and walker-budget planning on top
 //!   of the Theorem 1 / Remark 6 machinery.
 //! * [`autotune`] — the pilot → plan → run pipeline that turns the planning rules into
-//!   a self-tuning top-k query.
+//!   a self-tuning top-k query (served as `Query::AutotunedTopK`).
 //! * [`rank_metrics`] — order-sensitive ranking metrics (Kendall τ, footrule, NDCG)
 //!   complementing the paper's two set-level metrics.
-//! * [`driver`] — one-call experiment drivers returning a [`driver::RunReport`] with
-//!   both accuracy and cost metrics; these are what the examples and the benchmark
-//!   harness use.
+//! * [`driver`] — the low-level experiment drivers underneath the session; they return
+//!   a [`driver::RunReport`] with raw engine metrics for the benchmark harness. The
+//!   one-shot `run_*` free functions that re-partition per call are `#[deprecated]` in
+//!   favour of the session API.
 //! * [`report`] — tiny CSV/markdown writers for the figure harness.
 //!
-//! ## Quick start
+//! ## Migrating from the 0.1 free functions
 //!
-//! ```
-//! use frogwild::prelude::*;
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! `run_frogwild(&graph, &cluster, &config)` partitioned the graph on every call and
+//! panicked on invalid configurations. Replace it with a session:
 //!
-//! // A small synthetic social graph.
-//! let mut rng = SmallRng::seed_from_u64(1);
-//! let graph = frogwild_graph::generators::livejournal_like(2_000, &mut rng);
-//!
-//! // Run FrogWild on a simulated 8-machine cluster.
-//! let config = FrogWildConfig {
-//!     num_walkers: 20_000,
-//!     iterations: 4,
-//!     sync_probability: 0.7,
-//!     ..FrogWildConfig::default()
-//! };
+//! ```text
+//! // before (deprecated):
 //! let report = run_frogwild(&graph, &ClusterConfig::new(8, 42), &config);
-//!
-//! // Compare the estimated top-20 against exact PageRank.
-//! let exact = exact_pagerank(&graph, 0.15, 100, 1e-12);
-//! let accuracy = mass_captured(&report.estimate, &exact.scores, 20);
-//! assert!(accuracy.normalized() > 0.6);
+//! // after:
+//! let mut session = Session::builder(&graph).machines(8).seed(42).build()?;
+//! let response = session.query(&Query::TopK { k, config })?;
 //! ```
+//!
+//! `run_graphlab_pr` maps to `Query::Pagerank`, `auto_topk` to `Query::AutotunedTopK`,
+//! and the `frogwild::ppr` helpers are served as `Query::Ppr`. For parameter sweeps
+//! that need raw [`driver::RunReport`] metrics, the fallible `driver::*_on` functions
+//! remain the supported low-level layer.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod autotune;
-pub mod config;
 pub mod confidence;
+pub mod config;
 pub mod dist;
 pub mod driver;
 pub mod erasure;
+pub mod error;
 pub mod metrics;
 pub mod montecarlo;
 pub mod ppr;
@@ -81,28 +123,41 @@ pub mod programs;
 pub mod rank_metrics;
 pub mod reference;
 pub mod report;
+pub mod session;
 pub mod sparsify;
 pub mod theory;
 pub mod topk;
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
-    pub use crate::autotune::{auto_topk, AutoTuneConfig, AutoTuneReport};
-    pub use crate::config::{FrogWildConfig, PageRankConfig};
+    pub use crate::autotune::{auto_topk_on, AutoTuneConfig, AutoTuneReport};
     pub use crate::confidence::{plan_walkers, wilson_interval, WalkerPlan};
-    pub use crate::driver::{run_frogwild, run_graphlab_pr, run_sparsified_pr, RunReport};
+    pub use crate::config::{FrogWildConfig, PageRankConfig};
+    pub use crate::driver::{
+        partition_graph, run_frogwild_on, run_graphlab_pr_on, run_sparsified_pr, RunReport,
+    };
+    pub use crate::error::{Error, Result};
     pub use crate::metrics::{exact_identification, mass_captured, MassCaptured};
     pub use crate::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
     pub use crate::rank_metrics::{kendall_tau_top_k, ndcg_at_k};
     pub use crate::reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};
+    pub use crate::session::{
+        serve_ppr, PprMethod, Query, QueryCost, Response, ResponseDetail, Session, SessionBuilder,
+        SessionStats,
+    };
     pub use crate::theory::{intersection_probability_bound, theorem1_epsilon};
     pub use crate::topk::top_k;
-    pub use frogwild_engine::{ClusterConfig, SyncPolicy};
+    pub use frogwild_engine::{ClusterConfig, PartitionerKind, SyncPolicy};
     pub use frogwild_graph::{DiGraph, GraphBuilder, VertexId};
 }
 
 pub use config::{FrogWildConfig, PageRankConfig};
-pub use driver::{run_frogwild, run_graphlab_pr, run_sparsified_pr, RunReport};
+pub use error::{Error, Result};
 pub use metrics::{exact_identification, mass_captured, MassCaptured};
 pub use reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};
+pub use session::{Query, Response, Session};
 pub use topk::top_k;
+
+#[allow(deprecated)]
+pub use driver::{run_frogwild, run_graphlab_pr};
+pub use driver::{run_sparsified_pr, RunReport};

@@ -51,7 +51,14 @@ pub fn complete_path_pagerank<R: Rng + ?Sized>(
     }
     for _ in 0..num_walkers {
         let start = rng.gen_range(0..n) as VertexId;
-        walk_and_count(graph, start, max_steps, teleport_probability, rng, &mut visits);
+        walk_and_count(
+            graph,
+            start,
+            max_steps,
+            teleport_probability,
+            rng,
+            &mut visits,
+        );
     }
     normalize_counts(&visits)
 }
@@ -82,7 +89,14 @@ pub fn walkers_per_vertex_pagerank<R: Rng + ?Sized>(
     }
     for start in graph.vertices() {
         for _ in 0..walks_per_vertex {
-            walk_and_count(graph, start, max_steps, teleport_probability, rng, &mut visits);
+            walk_and_count(
+                graph,
+                start,
+                max_steps,
+                teleport_probability,
+                rng,
+                &mut visits,
+            );
         }
     }
     normalize_counts(&visits)
@@ -195,7 +209,10 @@ mod tests {
     fn zero_walkers_give_zero_vectors() {
         let g = star(10);
         let mut rng = SmallRng::seed_from_u64(7);
-        assert_eq!(complete_path_pagerank(&g, 0, 10, 0.15, &mut rng), vec![0.0; 10]);
+        assert_eq!(
+            complete_path_pagerank(&g, 0, 10, 0.15, &mut rng),
+            vec![0.0; 10]
+        );
         assert_eq!(
             walkers_per_vertex_pagerank(&g, 0, 10, 0.15, &mut rng),
             vec![0.0; 10]

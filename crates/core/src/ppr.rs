@@ -55,7 +55,10 @@ pub fn personalized_pagerank(
         "restart vector must be non-negative and finite"
     );
     let restart_total: f64 = restart.iter().sum();
-    assert!(restart_total > 0.0, "restart vector must have positive mass");
+    assert!(
+        restart_total > 0.0,
+        "restart vector must have positive mass"
+    );
 
     if n == 0 {
         return PageRankResult {
@@ -290,7 +293,11 @@ mod tests {
         let total: f64 = ppr.scores.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         // The source holds at least the teleport mass it receives every step.
-        assert!(ppr.scores[7] >= 0.15 - 1e-9, "source score {}", ppr.scores[7]);
+        assert!(
+            ppr.scores[7] >= 0.15 - 1e-9,
+            "source score {}",
+            ppr.scores[7]
+        );
         // And it is (one of) the heaviest vertices of its own PPR vector.
         let max = ppr.scores.iter().cloned().fold(f64::MIN, f64::max);
         assert!(ppr.scores[7] > 0.5 * max);
@@ -338,7 +345,12 @@ mod tests {
         let g = test_graph(500, 13);
         let tight = forward_push_ppr(&g, 3, 0.15, 1e-7);
         let loose = forward_push_ppr(&g, 3, 0.15, 1e-3);
-        assert!(loose.pushes <= tight.pushes, "loose {} vs tight {}", loose.pushes, tight.pushes);
+        assert!(
+            loose.pushes <= tight.pushes,
+            "loose {} vs tight {}",
+            loose.pushes,
+            tight.pushes
+        );
         assert!(loose.residual_mass() >= tight.residual_mass() - 1e-12);
     }
 

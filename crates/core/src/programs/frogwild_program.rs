@@ -47,13 +47,18 @@ pub struct FrogWildProgram {
 
 impl FrogWildProgram {
     /// Builds the program from an experiment configuration.
-    pub fn new(config: &FrogWildConfig) -> Self {
-        config.validate().expect("invalid FrogWild configuration");
-        FrogWildProgram {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`](crate::Error::InvalidConfig) when the
+    /// configuration fails [`FrogWildConfig::validate`].
+    pub fn new(config: &FrogWildConfig) -> Result<Self, crate::Error> {
+        config.validate()?;
+        Ok(FrogWildProgram {
             teleport_probability: config.teleport_probability,
             iterations: config.iterations,
             binomial_scatter: config.binomial_scatter,
-        }
+        })
     }
 
     /// The configured number of supersteps.
@@ -115,7 +120,8 @@ impl VertexProgram for FrogWildProgram {
             // draws x ~ Bin(K(i), 1 / (d_out(i) · p_s)). Expectation over the random
             // synchronization equals K(i), matching a true random walk marginally.
             let p = 1.0
-                / (ctx.global_out_degree.max(1) as f64 * ctx.sync_probability.max(f64::MIN_POSITIVE));
+                / (ctx.global_out_degree.max(1) as f64
+                    * ctx.sync_probability.max(f64::MIN_POSITIVE));
             let p = p.min(1.0);
             for &dst in local_out_neighbors {
                 let x = dist::binomial(state.live, p, ctx.rng);
@@ -142,7 +148,8 @@ impl VertexProgram for FrogWildProgram {
             for (idx, &dst) in local_out_neighbors.iter().enumerate() {
                 let mut amount = per_edge;
                 // The `remainder` edges starting at the random offset get one extra frog.
-                let rotated = (idx + local_out_neighbors.len() - offset) % local_out_neighbors.len();
+                let rotated =
+                    (idx + local_out_neighbors.len() - offset) % local_out_neighbors.len();
                 if rotated < remainder {
                     amount += 1;
                 }
@@ -167,8 +174,8 @@ impl VertexProgram for FrogWildProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use frogwild_engine::{ApplyContext, ScatterContext};
     use frogwild_engine::MachineId;
+    use frogwild_engine::{ApplyContext, ScatterContext};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -191,7 +198,7 @@ mod tests {
 
     #[test]
     fn apply_conserves_frogs() {
-        let program = FrogWildProgram::new(&config(10));
+        let program = FrogWildProgram::new(&config(10)).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         let mut state = FrogState::default();
         let mut ctx = apply_ctx(0, &mut rng);
@@ -203,7 +210,7 @@ mod tests {
 
     #[test]
     fn death_rate_matches_teleport_probability() {
-        let program = FrogWildProgram::new(&config(10));
+        let program = FrogWildProgram::new(&config(10)).unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
         let mut total_dead = 0u64;
         let trials = 200u64;
@@ -220,7 +227,7 @@ mod tests {
 
     #[test]
     fn final_superstep_absorbs_everything() {
-        let program = FrogWildProgram::new(&config(4));
+        let program = FrogWildProgram::new(&config(4)).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
         let mut state = FrogState {
             live: 0,
@@ -235,9 +242,12 @@ mod tests {
 
     #[test]
     fn no_message_means_no_change_except_absorption() {
-        let program = FrogWildProgram::new(&config(4));
+        let program = FrogWildProgram::new(&config(4)).unwrap();
         let mut rng = SmallRng::seed_from_u64(6);
-        let mut state = FrogState { live: 3, stopped: 2 };
+        let mut state = FrogState {
+            live: 3,
+            stopped: 2,
+        };
         let mut ctx = apply_ctx(1, &mut rng);
         program.apply(&mut ctx, 0, &mut state, None, None);
         // no arrivals: the previous live frogs have already been forwarded, so live resets
@@ -267,7 +277,7 @@ mod tests {
 
     #[test]
     fn deterministic_scatter_conserves_share() {
-        let program = FrogWildProgram::new(&config(10));
+        let program = FrogWildProgram::new(&config(10)).unwrap();
         let mut rng = SmallRng::seed_from_u64(7);
         let state = FrogState {
             live: 1_003,
@@ -286,7 +296,7 @@ mod tests {
 
     #[test]
     fn deterministic_scatter_spreads_over_local_edges() {
-        let program = FrogWildProgram::new(&config(10));
+        let program = FrogWildProgram::new(&config(10)).unwrap();
         let mut rng = SmallRng::seed_from_u64(8);
         let state = FrogState {
             live: 700,
@@ -310,7 +320,7 @@ mod tests {
             binomial_scatter: true,
             ..config(10)
         };
-        let program = FrogWildProgram::new(&cfg);
+        let program = FrogWildProgram::new(&cfg).unwrap();
         let mut rng = SmallRng::seed_from_u64(9);
         let state = FrogState {
             live: 1_000,
@@ -338,7 +348,7 @@ mod tests {
 
     #[test]
     fn scatter_with_no_live_frogs_emits_nothing() {
-        let program = FrogWildProgram::new(&config(4));
+        let program = FrogWildProgram::new(&config(4)).unwrap();
         let mut rng = SmallRng::seed_from_u64(10);
         let state = FrogState::default();
         let neighbors: Vec<VertexId> = vec![1, 2];
@@ -352,7 +362,7 @@ mod tests {
 
     #[test]
     fn message_and_state_sizes() {
-        let program = FrogWildProgram::new(&config(4));
+        let program = FrogWildProgram::new(&config(4)).unwrap();
         assert_eq!(program.state_bytes(), 16);
         assert_eq!(program.message_bytes(), 8);
         assert_eq!(program.iterations(), 4);

@@ -48,12 +48,17 @@ pub struct PageRankProgram {
 
 impl PageRankProgram {
     /// Builds the program from a [`PageRankConfig`].
-    pub fn new(config: &PageRankConfig) -> Self {
-        config.validate().expect("invalid PageRank configuration");
-        PageRankProgram {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`](crate::Error::InvalidConfig) when the
+    /// configuration fails [`PageRankConfig::validate`].
+    pub fn new(config: &PageRankConfig) -> Result<Self, crate::Error> {
+        config.validate()?;
+        Ok(PageRankProgram {
             teleport_probability: config.teleport_probability,
             tolerance: config.tolerance,
-        }
+        })
     }
 }
 
@@ -138,7 +143,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn program() -> PageRankProgram {
-        PageRankProgram::new(&PageRankConfig::default())
+        PageRankProgram::new(&PageRankConfig::default()).unwrap()
     }
 
     #[test]
@@ -151,7 +156,10 @@ mod tests {
     #[test]
     fn gather_divides_by_out_degree() {
         let p = program();
-        let src = RankState { rank: 2.0, delta: 0.0 };
+        let src = RankState {
+            rank: 2.0,
+            delta: 0.0,
+        };
         let dst = RankState::default();
         assert_eq!(p.gather_edge(0, 1, &src, &dst, 4), Some(0.5));
         // degree 0 is clamped to avoid division by zero (cannot occur on fixed graphs)
@@ -195,7 +203,8 @@ mod tests {
         let p = PageRankProgram::new(&PageRankConfig {
             tolerance: 1e-3,
             ..PageRankConfig::default()
-        });
+        })
+        .unwrap();
         let converged = RankState {
             rank: 0.5,
             delta: 1e-4,

@@ -31,7 +31,11 @@ use crate::topk::top_k;
 ///
 /// Panics if the vectors differ in length or `k < 2`.
 pub fn kendall_tau_top_k(estimate: &[f64], truth: &[f64], k: usize) -> f64 {
-    assert_eq!(estimate.len(), truth.len(), "vectors must cover the same vertex set");
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "vectors must cover the same vertex set"
+    );
     assert!(k >= 2, "kendall tau needs at least two items");
     let items = top_k(truth, k);
     if items.len() < 2 {
@@ -69,7 +73,11 @@ pub fn kendall_tau_top_k(estimate: &[f64], truth: &[f64], k: usize) -> f64 {
 ///
 /// Panics if the vectors differ in length or `k == 0`.
 pub fn spearman_footrule_top_k(estimate: &[f64], truth: &[f64], k: usize) -> f64 {
-    assert_eq!(estimate.len(), truth.len(), "vectors must cover the same vertex set");
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "vectors must cover the same vertex set"
+    );
     assert!(k > 0, "k must be positive");
     let true_order = top_k(truth, k);
     let est_order = top_k(estimate, k);
@@ -98,7 +106,11 @@ pub fn spearman_footrule_top_k(estimate: &[f64], truth: &[f64], k: usize) -> f64
 ///
 /// Panics if the vectors differ in length or `k == 0`.
 pub fn ndcg_at_k(estimate: &[f64], truth: &[f64], k: usize) -> f64 {
-    assert_eq!(estimate.len(), truth.len(), "vectors must cover the same vertex set");
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "vectors must cover the same vertex set"
+    );
     assert!(k > 0, "k must be positive");
     let gain = |rank: usize, relevance: f64| relevance / ((rank + 2) as f64).log2();
     let dcg: f64 = top_k(estimate, k)
@@ -125,7 +137,11 @@ pub fn ndcg_at_k(estimate: &[f64], truth: &[f64], k: usize) -> f64 {
 ///
 /// Panics if the vectors differ in length or any requested `k` is zero.
 pub fn precision_at_k_curve(estimate: &[f64], truth: &[f64], ks: &[usize]) -> Vec<f64> {
-    assert_eq!(estimate.len(), truth.len(), "vectors must cover the same vertex set");
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "vectors must cover the same vertex set"
+    );
     ks.iter()
         .map(|&k| {
             assert!(k > 0, "k must be positive");
@@ -148,7 +164,10 @@ mod tests {
         assert_eq!(kendall_tau_top_k(&t, &t, 5), 1.0);
         assert_eq!(spearman_footrule_top_k(&t, &t, 5), 1.0);
         assert!((ndcg_at_k(&t, &t, 5) - 1.0).abs() < 1e-12);
-        assert_eq!(precision_at_k_curve(&t, &t, &[1, 3, 5]), vec![1.0, 1.0, 1.0]);
+        assert_eq!(
+            precision_at_k_curve(&t, &t, &[1, 3, 5]),
+            vec![1.0, 1.0, 1.0]
+        );
     }
 
     #[test]

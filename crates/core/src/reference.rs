@@ -65,8 +65,8 @@ pub fn exact_pagerank(
             .filter(|&v| graph.out_degree(v) == 0)
             .map(|v| current[v as usize])
             .sum();
-        let base = teleport_probability * uniform
-            + (1.0 - teleport_probability) * dangling_mass * uniform;
+        let base =
+            teleport_probability * uniform + (1.0 - teleport_probability) * dangling_mass * uniform;
         next.iter_mut().for_each(|x| *x = base);
         // Push each vertex's mass along its out-edges.
         for v in graph.vertices() {

@@ -69,7 +69,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));

@@ -59,16 +59,23 @@ impl SparsifiedBaselineConfig {
         self.keep_probability
     }
 
-    /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning the first problem found as a typed
+    /// [`Error::InvalidConfig`](crate::Error::InvalidConfig).
+    pub fn validate(&self) -> Result<(), crate::Error> {
         if !(0.0..=1.0).contains(&self.keep_probability) {
-            return Err(format!(
-                "keep_probability must be in [0, 1], got {}",
-                self.keep_probability
+            return Err(crate::Error::config(
+                "SparsifiedBaselineConfig",
+                format!(
+                    "keep_probability must be in [0, 1], got {}",
+                    self.keep_probability
+                ),
             ));
         }
         if self.iterations == 0 {
-            return Err("iterations must be positive".into());
+            return Err(crate::Error::config(
+                "SparsifiedBaselineConfig",
+                "iterations must be positive",
+            ));
         }
         Ok(())
     }

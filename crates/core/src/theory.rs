@@ -252,8 +252,8 @@ pub fn mixing_profile(
             .filter(|&v| graph.out_degree(v) == 0)
             .map(|v| current[v as usize])
             .sum();
-        let base = teleport_probability * uniform
-            + (1.0 - teleport_probability) * dangling_mass * uniform;
+        let base =
+            teleport_probability * uniform + (1.0 - teleport_probability) * dangling_mass * uniform;
         next.iter_mut().for_each(|x| *x = base);
         for v in graph.vertices() {
             let deg = graph.out_degree(v);
@@ -316,8 +316,8 @@ mod tests {
     #[test]
     fn theorem1_is_sum_of_terms() {
         let eps = theorem1_epsilon(0.15, 4, 100, 0.1, 800_000, 0.7, 1e-4);
-        let expected = mixing_loss_bound(0.15, 4)
-            + sampling_loss_bound(100, 0.1, 800_000, 0.7, 1e-4);
+        let expected =
+            mixing_loss_bound(0.15, 4) + sampling_loss_bound(100, 0.1, 800_000, 0.7, 1e-4);
         assert!((eps - expected).abs() < 1e-12);
     }
 
@@ -338,7 +338,10 @@ mod tests {
         assert!((bound - 1e-3).abs() < 1e-12); // n^{-1/2}
         let expected_failure = (n as f64).powf(0.5 - 1.0 / 1.2);
         assert!((failure - expected_failure).abs() < 1e-12);
-        assert!(failure < 0.02, "failure probability should vanish, got {failure}");
+        assert!(
+            failure < 0.02,
+            "failure probability should vanish, got {failure}"
+        );
     }
 
     #[test]
@@ -408,7 +411,11 @@ mod tests {
         for w in profile.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "profile not decaying: {profile:?}");
         }
-        assert!(profile[steps] < 0.05, "after {steps} steps distance {}", profile[steps]);
+        assert!(
+            profile[steps] < 0.05,
+            "after {steps} steps distance {}",
+            profile[steps]
+        );
         // Lemma 14 + Cauchy–Schwarz: ‖Qᵗu − π‖₁ ≤ √(χ²) ≤ √(((1−p_T)/p_T)(1−p_T)ᵗ),
         // which is exactly mixing_loss_bound(p_T, t-1) rescaled; check at a few t.
         for (t, &distance) in profile.iter().enumerate().skip(1) {

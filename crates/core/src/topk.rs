@@ -100,7 +100,9 @@ mod tests {
     fn heap_path_matches_sort_path() {
         // Construct enough elements that k < n/2 triggers the bounded-heap path, and
         // compare against the straightforward full sort.
-        let scores: Vec<f64> = (0..500).map(|i| ((i * 7919) % 1000) as f64 / 1000.0).collect();
+        let scores: Vec<f64> = (0..500)
+            .map(|i| ((i * 7919) % 1000) as f64 / 1000.0)
+            .collect();
         let k = 25;
         let fast = top_k(&scores, k);
         let mut order: Vec<VertexId> = (0..scores.len() as VertexId).collect();

@@ -7,7 +7,9 @@ use frogwild::confidence::{
 };
 use frogwild::montecarlo::complete_path_pagerank;
 use frogwild::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
-use frogwild::rank_metrics::{kendall_tau_top_k, ndcg_at_k, precision_at_k_curve, spearman_footrule_top_k};
+use frogwild::rank_metrics::{
+    kendall_tau_top_k, ndcg_at_k, precision_at_k_curve, spearman_footrule_top_k,
+};
 use frogwild_graph::generators::{rmat, RmatParams};
 use frogwild_graph::DiGraph;
 use proptest::prelude::*;

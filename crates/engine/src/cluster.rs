@@ -80,7 +80,10 @@ mod tests {
     fn cluster_machine_iteration() {
         let c = ClusterConfig::new(4, 1);
         let ids: Vec<_> = c.machines().collect();
-        assert_eq!(ids, vec![MachineId(0), MachineId(1), MachineId(2), MachineId(3)]);
+        assert_eq!(
+            ids,
+            vec![MachineId(0), MachineId(1), MachineId(2), MachineId(3)]
+        );
     }
 
     #[test]

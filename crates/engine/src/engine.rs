@@ -111,16 +111,22 @@ pub struct Engine<'g, P: VertexProgram> {
 
 impl<'g, P: VertexProgram> Engine<'g, P> {
     /// Creates an engine for `program` over `graph`.
-    pub fn new(graph: &'g PartitionedGraph, program: P, config: EngineConfig) -> Self {
-        config
-            .sync_policy
-            .validate()
-            .expect("invalid synchronization policy");
-        Engine {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`](frogwild_graph::Error::InvalidConfig) when the
+    /// configured synchronization policy carries a probability outside `[0, 1]`.
+    pub fn new(
+        graph: &'g PartitionedGraph,
+        program: P,
+        config: EngineConfig,
+    ) -> Result<Self, frogwild_graph::Error> {
+        config.sync_policy.validate()?;
+        Ok(Engine {
             graph,
             program,
             config,
-        }
+        })
     }
 
     /// Access to the program (e.g. to read configuration back out).
@@ -250,13 +256,17 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     }
                 }
             }
-            let per_machine: PerMachine<P::Accum> = self.run_per_machine(
-                caches,
-                |machine, cache| {
+            let per_machine: PerMachine<P::Accum> =
+                self.run_per_machine(caches, |machine, cache| {
                     let shard = self.graph.shard(MachineId::from(machine));
-                    gather_machine(&self.program, self.graph, shard, cache, &gather_tasks[machine])
-                },
-            );
+                    gather_machine(
+                        &self.program,
+                        self.graph,
+                        shard,
+                        cache,
+                        &gather_tasks[machine],
+                    )
+                });
             for (machine, (partials, ops)) in per_machine.into_iter().enumerate() {
                 work.gather_ops += ops;
                 work.ops_per_machine[machine] += ops;
@@ -265,7 +275,8 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     if master.index() != machine {
                         net.record(
                             machine,
-                            (self.program.accum_bytes() + self.config.cost_model.message_header_bytes)
+                            (self.program.accum_bytes()
+                                + self.config.cost_model.message_header_bytes)
                                 as u64,
                         );
                     }
@@ -288,7 +299,8 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         }
 
         // ------------------------------------------------------------------- apply --
-        let mut apply_tasks: Vec<Vec<ApplyTask<P>>> = (0..num_machines).map(|_| Vec::new()).collect();
+        let mut apply_tasks: Vec<Vec<ApplyTask<P>>> =
+            (0..num_machines).map(|_| Vec::new()).collect();
         for &v in active {
             let master = placement.master(v);
             let local = self
@@ -349,7 +361,16 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 let synced = match self.config.sync_policy {
                     SyncPolicy::Full => true,
                     SyncPolicy::Independent { .. } | SyncPolicy::AtLeastOneOutEdge { .. } => {
-                        rng::coin(ps, &[self.config.seed, superstep as u64, v as u64, r.index() as u64, TAG_SYNC])
+                        rng::coin(
+                            ps,
+                            &[
+                                self.config.seed,
+                                superstep as u64,
+                                v as u64,
+                                r.index() as u64,
+                                TAG_SYNC,
+                            ],
+                        )
                     }
                 };
                 if synced {
@@ -538,7 +559,10 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     .enumerate()
                     .map(|(machine, cache)| scope.spawn(move || f(machine, cache)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("machine worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("machine worker panicked"))
+                    .collect()
             })
         } else {
             caches
@@ -564,7 +588,10 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     .enumerate()
                     .map(|(machine, cache)| scope.spawn(move || f(machine, cache)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("machine worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("machine worker panicked"))
+                    .collect()
             })
         } else {
             caches
@@ -622,7 +649,8 @@ fn apply_machine<P: VertexProgram>(
     seed: u64,
 ) -> u64 {
     for task in tasks {
-        let mut task_rng = rng::derived_rng(&[seed, superstep as u64, task.vertex as u64, TAG_APPLY]);
+        let mut task_rng =
+            rng::derived_rng(&[seed, superstep as u64, task.vertex as u64, TAG_APPLY]);
         let mut ctx = ApplyContext {
             superstep,
             num_vertices: graph.num_vertices(),
@@ -685,9 +713,15 @@ fn scatter_machine<P: VertexProgram>(
             rng: &mut task_rng,
         };
         let state = &cache[task.local as usize];
-        program.scatter_replica(&mut ctx, task.vertex, state, &local_neighbors, &mut |dst, msg| {
-            outbox.push((dst, msg));
-        });
+        program.scatter_replica(
+            &mut ctx,
+            task.vertex,
+            state,
+            &local_neighbors,
+            &mut |dst, msg| {
+                outbox.push((dst, msg));
+            },
+        );
     }
     (outbox, ops)
 }
@@ -809,7 +843,8 @@ mod tests {
                 max_supersteps: 10,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         let initial = vec![(0u32, 1000u64), (25u32, 500u64)];
         let out = engine.run(InitialActivation::Messages(initial));
         assert_eq!(total_tokens(&out.states), 1500);
@@ -827,7 +862,8 @@ mod tests {
                 max_supersteps: 3,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = engine.run(InitialActivation::Messages(vec![(0u32, 7u64)]));
         // The tokens are injected at vertex 0, forwarded twice, and absorbed at the
         // final superstep two hops downstream.
@@ -846,7 +882,8 @@ mod tests {
                 max_supersteps: 50,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = engine.run(InitialActivation::Messages(vec![(0u32, 5u64)]));
         // steps=2 means the program stops scattering after superstep 1; one more
         // superstep delivers the final messages and then the engine finds no work.
@@ -857,7 +894,7 @@ mod tests {
     fn no_initial_messages_means_no_work() {
         let graph = cycle(10);
         let pg = partitioned(&graph, 2);
-        let engine = Engine::new(&pg, TokenForward { steps: 5 }, EngineConfig::default());
+        let engine = Engine::new(&pg, TokenForward { steps: 5 }, EngineConfig::default()).unwrap();
         let out = engine.run(InitialActivation::Messages(vec![]));
         assert_eq!(out.metrics.num_supersteps(), 0);
         assert_eq!(total_tokens(&out.states), 0);
@@ -874,7 +911,8 @@ mod tests {
                 max_supersteps: 5,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = engine.run(InitialActivation::Messages(vec![(0u32, 100u64)]));
         assert_eq!(out.metrics.total_bytes(), 0);
         assert_eq!(total_tokens(&out.states), 100);
@@ -891,7 +929,8 @@ mod tests {
                 max_supersteps: 5,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = engine.run(InitialActivation::Messages(vec![(0u32, 100u64)]));
         assert!(out.metrics.total_bytes() > 0);
         assert!(out.metrics.total_messages() > 0);
@@ -912,13 +951,25 @@ mod tests {
                     parallel,
                     ..EngineConfig::default()
                 },
-            );
-            engine.run(InitialActivation::Messages(vec![(0u32, 5000u64), (7u32, 300u64)]))
+            )
+            .unwrap();
+            engine.run(InitialActivation::Messages(vec![
+                (0u32, 5000u64),
+                (7u32, 300u64),
+            ]))
         };
         let serial = run(false);
         let parallel = run(true);
-        let serial_tokens: Vec<u64> = serial.states.iter().map(|s| s.arrived + s.forwarding).collect();
-        let parallel_tokens: Vec<u64> = parallel.states.iter().map(|s| s.arrived + s.forwarding).collect();
+        let serial_tokens: Vec<u64> = serial
+            .states
+            .iter()
+            .map(|s| s.arrived + s.forwarding)
+            .collect();
+        let parallel_tokens: Vec<u64> = parallel
+            .states
+            .iter()
+            .map(|s| s.arrived + s.forwarding)
+            .collect();
         assert_eq!(serial_tokens, parallel_tokens);
         assert_eq!(serial.metrics.total_bytes(), parallel.metrics.total_bytes());
         assert_eq!(serial.metrics.total_ops(), parallel.metrics.total_ops());
@@ -937,7 +988,8 @@ mod tests {
                     sync_policy: policy,
                     ..EngineConfig::default()
                 },
-            );
+            )
+            .unwrap();
             engine.run(InitialActivation::Messages(vec![(0u32, 10_000u64)]))
         };
         let full = run(SyncPolicy::Full);
@@ -962,7 +1014,8 @@ mod tests {
                 max_supersteps: 1,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = engine.run(InitialActivation::AllVertices);
         assert_eq!(out.metrics.supersteps[0].active_vertices, 12);
         assert_eq!(out.metrics.supersteps[0].work.apply_ops, 12);
@@ -972,7 +1025,7 @@ mod tests {
     fn metrics_record_replication_factor() {
         let graph = star(100);
         let pg = partitioned(&graph, 8);
-        let engine = Engine::new(&pg, TokenForward { steps: 1 }, EngineConfig::default());
+        let engine = Engine::new(&pg, TokenForward { steps: 1 }, EngineConfig::default()).unwrap();
         let out = engine.run(InitialActivation::Messages(vec![(0u32, 1u64)]));
         assert!(out.metrics.replication_factor >= 1.0);
         assert_eq!(out.metrics.num_machines, 8);

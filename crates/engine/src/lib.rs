@@ -45,10 +45,11 @@ pub mod sync;
 
 pub use cluster::{ClusterConfig, MachineId};
 pub use engine::{Engine, EngineConfig, EngineOutput, InitialActivation};
+pub use frogwild_graph::Error;
 pub use metrics::{CostModel, NetworkStats, RunMetrics, SuperstepMetrics, WorkStats};
 pub use partition::{
     GridPartitioner, HdrfPartitioner, HybridPartitioner, ObliviousPartitioner, Partitioner,
-    RandomPartitioner,
+    PartitionerKind, RandomPartitioner,
 };
 pub use placement::{PartitionedGraph, Shard, VertexPlacement};
 pub use program::{ApplyContext, EdgeDirection, ScatterContext, VertexProgram};

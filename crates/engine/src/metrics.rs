@@ -45,9 +45,14 @@ impl NetworkStats {
         self.bytes_sent += other.bytes_sent;
         self.messages_sent += other.messages_sent;
         if self.bytes_per_machine.len() < other.bytes_per_machine.len() {
-            self.bytes_per_machine.resize(other.bytes_per_machine.len(), 0);
+            self.bytes_per_machine
+                .resize(other.bytes_per_machine.len(), 0);
         }
-        for (a, b) in self.bytes_per_machine.iter_mut().zip(&other.bytes_per_machine) {
+        for (a, b) in self
+            .bytes_per_machine
+            .iter_mut()
+            .zip(&other.bytes_per_machine)
+        {
             *a += b;
         }
     }
@@ -233,7 +238,10 @@ impl RunMetrics {
 
     /// Total messages sent over the whole run.
     pub fn total_messages(&self) -> u64 {
-        self.supersteps.iter().map(|s| s.network.messages_sent).sum()
+        self.supersteps
+            .iter()
+            .map(|s| s.network.messages_sent)
+            .sum()
     }
 
     /// Total work operations over the whole run.
@@ -248,7 +256,10 @@ impl RunMetrics {
 
     /// Total simulated CPU seconds under `model`.
     pub fn total_cpu_seconds(&self, model: &CostModel) -> f64 {
-        self.supersteps.iter().map(|s| model.cpu_seconds(&s.work)).sum()
+        self.supersteps
+            .iter()
+            .map(|s| model.cpu_seconds(&s.work))
+            .sum()
     }
 
     /// Total real (host) seconds spent executing.
@@ -434,7 +445,10 @@ mod tests {
         // of the compute component, even though half the work is unaffected.
         let straggler = model.superstep_seconds_hetero(&work, &net, &[1.0, 4.0]);
         let expected = 1_000_000.0 * model.seconds_per_op * 4.0 + model.superstep_overhead;
-        assert!((straggler - expected).abs() < 1e-12, "straggler {straggler}");
+        assert!(
+            (straggler - expected).abs() < 1e-12,
+            "straggler {straggler}"
+        );
         // Missing entries default to nominal speed.
         let partial = model.superstep_seconds_hetero(&work, &net, &[2.0]);
         assert!(partial > uniform && partial < straggler);

@@ -55,7 +55,11 @@ impl Partitioner for GridPartitioner {
                 // these coincide or fall inside both sets anyway.
                 let cand_a = sr * cols + dc;
                 let cand_b = dr * cols + sc;
-                let chosen = if load[cand_a] <= load[cand_b] { cand_a } else { cand_b };
+                let chosen = if load[cand_a] <= load[cand_b] {
+                    cand_a
+                } else {
+                    cand_b
+                };
                 load[chosen] += 1;
                 MachineId::from(chosen.min(num_machines - 1))
             })
@@ -70,9 +74,9 @@ impl Partitioner for GridPartitioner {
 #[cfg(test)]
 mod tests {
     use super::super::test_support::{check_partitioner_contract, test_graph};
+    use super::super::RandomPartitioner;
     use super::*;
     use crate::placement::PartitionedGraph;
-    use super::super::RandomPartitioner;
 
     #[test]
     fn grid_dims_factorizations() {

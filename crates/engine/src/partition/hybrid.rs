@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn zero_threshold_degenerates_to_source_hashing() {
         let g = test_graph();
-        let all_hubs = HybridPartitioner { degree_threshold: 0 }.assign(&g, 8, 5);
+        let all_hubs = HybridPartitioner {
+            degree_threshold: 0,
+        }
+        .assign(&g, 8, 5);
         // Every destination counts as a hub, so all edges of one source land together.
         let mut owner: Vec<Option<MachineId>> = vec![None; g.num_vertices()];
         for ((src, _), &machine) in g.edges().zip(all_hubs.machines.iter()) {

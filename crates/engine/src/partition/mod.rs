@@ -83,6 +83,88 @@ pub trait Partitioner {
     fn assign(&self, graph: &DiGraph, num_machines: usize, seed: u64) -> EdgeAssignment;
 }
 
+/// The five ingress strategies as a plain value, for builders and CLI flags.
+///
+/// Each variant maps to the correspondingly named [`Partitioner`] with its default
+/// parameters (`λ = 1.1` for HDRF, the default hub threshold for the hybrid cut). The
+/// enum itself implements [`Partitioner`] by delegation, so it can be passed anywhere a
+/// concrete strategy is expected — most notably
+/// [`Session::builder(..).partitioner(..)`](https://docs.rs/frogwild) and the CLI's
+/// `--partitioner` option.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PartitionerKind {
+    /// Hash every edge to a machine ([`RandomPartitioner`]).
+    Random,
+    /// Constrained 2D grid ingress ([`GridPartitioner`]).
+    Grid,
+    /// PowerGraph's greedy default ([`ObliviousPartitioner`]) — also the default here.
+    #[default]
+    Oblivious,
+    /// High-Degree Replicated First ([`HdrfPartitioner`] with default `λ`).
+    Hdrf,
+    /// PowerLyra-style hybrid cut ([`HybridPartitioner`] with default threshold).
+    Hybrid,
+}
+
+impl PartitionerKind {
+    /// All five strategies, in ablation order.
+    pub const ALL: [PartitionerKind; 5] = [
+        PartitionerKind::Random,
+        PartitionerKind::Grid,
+        PartitionerKind::Oblivious,
+        PartitionerKind::Hdrf,
+        PartitionerKind::Hybrid,
+    ];
+}
+
+impl Partitioner for PartitionerKind {
+    fn name(&self) -> &'static str {
+        match self {
+            PartitionerKind::Random => RandomPartitioner.name(),
+            PartitionerKind::Grid => GridPartitioner.name(),
+            PartitionerKind::Oblivious => ObliviousPartitioner.name(),
+            PartitionerKind::Hdrf => HdrfPartitioner::default().name(),
+            PartitionerKind::Hybrid => HybridPartitioner::default().name(),
+        }
+    }
+
+    fn assign(&self, graph: &DiGraph, num_machines: usize, seed: u64) -> EdgeAssignment {
+        match self {
+            PartitionerKind::Random => RandomPartitioner.assign(graph, num_machines, seed),
+            PartitionerKind::Grid => GridPartitioner.assign(graph, num_machines, seed),
+            PartitionerKind::Oblivious => ObliviousPartitioner.assign(graph, num_machines, seed),
+            PartitionerKind::Hdrf => HdrfPartitioner::default().assign(graph, num_machines, seed),
+            PartitionerKind::Hybrid => {
+                HybridPartitioner::default().assign(graph, num_machines, seed)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PartitionerKind {
+    type Err = frogwild_graph::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "random" => Ok(PartitionerKind::Random),
+            "grid" => Ok(PartitionerKind::Grid),
+            "oblivious" => Ok(PartitionerKind::Oblivious),
+            "hdrf" => Ok(PartitionerKind::Hdrf),
+            "hybrid" => Ok(PartitionerKind::Hybrid),
+            other => Err(frogwild_graph::Error::config(
+                "PartitionerKind",
+                format!("unknown partitioner {other:?} (expected random, grid, oblivious, hdrf or hybrid)"),
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
@@ -100,7 +182,12 @@ pub(crate) mod test_support {
     pub fn check_partitioner_contract(p: &dyn Partitioner, machines: usize) {
         let g = test_graph();
         let a = p.assign(&g, machines, 7);
-        assert_eq!(a.machines.len(), g.num_edges(), "{}: one machine per edge", p.name());
+        assert_eq!(
+            a.machines.len(),
+            g.num_edges(),
+            "{}: one machine per edge",
+            p.name()
+        );
         assert_eq!(a.num_machines, machines);
         assert!(
             a.machines.iter().all(|m| m.index() < machines),
@@ -139,6 +226,22 @@ mod tests {
         };
         assert_eq!(skewed.edges_per_machine(), vec![3, 1]);
         assert!((skewed.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partitioner_kind_round_trips_and_delegates() {
+        for kind in PartitionerKind::ALL {
+            let parsed: PartitionerKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("nonsense".parse::<PartitionerKind>().is_err());
+        assert_eq!(PartitionerKind::default(), PartitionerKind::Oblivious);
+
+        let g = test_support::test_graph();
+        let by_kind = PartitionerKind::Hdrf.assign(&g, 4, 7);
+        let direct = HdrfPartitioner::default().assign(&g, 4, 7);
+        assert_eq!(by_kind, direct);
     }
 
     #[test]

@@ -52,33 +52,32 @@ impl Partitioner for ObliviousPartitioner {
         let mut replicas = vec![0u64; n * words];
         let mut load = vec![0usize; num_machines];
 
-        let best_in = |mask_of: &dyn Fn(usize) -> u64,
-                           load: &[usize],
-                           tie_seed: u64|
-         -> Option<usize> {
-            let mut best: Option<usize> = None;
-            for m in 0..num_machines {
-                let word = m / 64;
-                let bit = m % 64;
-                if mask_of(word) & (1u64 << bit) == 0 {
-                    continue;
-                }
-                best = Some(match best {
-                    None => m,
-                    Some(b) => {
-                        if load[m] < load[b]
-                            || (load[m] == load[b]
-                                && rng::mix(&[tie_seed, m as u64]) < rng::mix(&[tie_seed, b as u64]))
-                        {
-                            m
-                        } else {
-                            b
-                        }
+        let best_in =
+            |mask_of: &dyn Fn(usize) -> u64, load: &[usize], tie_seed: u64| -> Option<usize> {
+                let mut best: Option<usize> = None;
+                for m in 0..num_machines {
+                    let word = m / 64;
+                    let bit = m % 64;
+                    if mask_of(word) & (1u64 << bit) == 0 {
+                        continue;
                     }
-                });
-            }
-            best
-        };
+                    best = Some(match best {
+                        None => m,
+                        Some(b) => {
+                            if load[m] < load[b]
+                                || (load[m] == load[b]
+                                    && rng::mix(&[tie_seed, m as u64])
+                                        < rng::mix(&[tie_seed, b as u64]))
+                            {
+                                m
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                best
+            };
 
         let mut machines = Vec::with_capacity(graph.num_edges());
         for (idx, (u, v)) in graph.edges().enumerate() {

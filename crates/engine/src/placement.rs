@@ -217,7 +217,8 @@ impl PartitionedGraph {
         // Isolated vertices (no edges at all) still need a home for their master.
         for (v, set) in replica_sets.iter_mut().enumerate() {
             if set.is_empty() {
-                let m = MachineId::from(rng::pick_index(num_machines, &[seed, 0x150AA7ED, v as u64]));
+                let m =
+                    MachineId::from(rng::pick_index(num_machines, &[seed, 0x150AA7ED, v as u64]));
                 set.push(m);
             }
         }
@@ -274,7 +275,9 @@ impl PartitionedGraph {
         for ((src, dst), &machine) in graph.edges().zip(assignment.machines.iter()) {
             let shard = &shards[machine.index()];
             let ls = shard.local_index(src).expect("source must have a replica");
-            let ld = shard.local_index(dst).expect("destination must have a replica");
+            let ld = shard
+                .local_index(dst)
+                .expect("destination must have a replica");
             local_edges[machine.index()].push((ls, ld));
         }
         for (m, edges) in local_edges.into_iter().enumerate() {
@@ -290,7 +293,9 @@ impl PartitionedGraph {
             shard.in_sources_local = in_sources_local;
         }
 
-        let out_degrees = (0..n as VertexId).map(|v| graph.out_degree(v) as u32).collect();
+        let out_degrees = (0..n as VertexId)
+            .map(|v| graph.out_degree(v) as u32)
+            .collect();
 
         PartitionedGraph {
             num_vertices: n,
@@ -346,18 +351,20 @@ impl PartitionedGraph {
     /// Consistency check used by tests: every edge appears on exactly one machine, every
     /// endpoint of a local edge has a local replica, local degree sums match global
     /// degrees, and the master of every vertex is one of its replicas.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), frogwild_graph::Error> {
         let total_local_edges: usize = self.shards.iter().map(|s| s.num_local_edges()).sum();
         if total_local_edges != self.num_edges {
-            return Err(format!(
+            return Err(frogwild_graph::Error::partition(format!(
                 "local edges {} do not sum to global edge count {}",
                 total_local_edges, self.num_edges
-            ));
+            )));
         }
         for v in 0..self.num_vertices as VertexId {
             let master = self.placement.master(v);
             if !self.placement.replicas(v).contains(&master) {
-                return Err(format!("master of vertex {v} is not among its replicas"));
+                return Err(frogwild_graph::Error::partition(format!(
+                    "master of vertex {v} is not among its replicas"
+                )));
             }
             let local_out_total: usize = self
                 .placement
@@ -372,25 +379,25 @@ impl PartitionedGraph {
                 })
                 .sum();
             if local_out_total != self.out_degrees[v as usize] as usize {
-                return Err(format!(
+                return Err(frogwild_graph::Error::partition(format!(
                     "vertex {v}: local out-degrees sum to {local_out_total}, global is {}",
                     self.out_degrees[v as usize]
-                ));
+                )));
             }
         }
         for shard in &self.shards {
             if shard.vertices.len() != shard.is_master.len() {
-                return Err(format!(
+                return Err(frogwild_graph::Error::partition(format!(
                     "shard {} vertex/master table length mismatch",
                     shard.machine
-                ));
+                )));
             }
             for (i, &v) in shard.vertices.iter().enumerate() {
                 if shard.local_index(v) != Some(i as u32) {
-                    return Err(format!(
+                    return Err(frogwild_graph::Error::partition(format!(
                         "shard {}: lookup table inconsistent for vertex {v}",
                         shard.machine
-                    ));
+                    )));
                 }
             }
         }
@@ -447,7 +454,7 @@ mod tests {
             assert_eq!(pg.num_machines(), machines);
             assert_eq!(pg.num_vertices(), g.num_vertices());
             assert_eq!(pg.num_edges(), g.num_edges());
-            pg.validate().expect("valid layout");
+            pg.validate().unwrap();
         }
     }
 
@@ -455,7 +462,7 @@ mod tests {
     fn random_partition_is_consistent_too() {
         let g = small_rmat();
         let pg = PartitionedGraph::build(&g, 8, &RandomPartitioner, 5);
-        pg.validate().expect("valid layout");
+        pg.validate().unwrap();
         assert_eq!(pg.partitioner_name(), "random");
     }
 
@@ -564,7 +571,10 @@ mod tests {
         let g = small_rmat();
         let a = PartitionedGraph::build(&g, 8, &ObliviousPartitioner, 11);
         let b = PartitionedGraph::build(&g, 8, &ObliviousPartitioner, 11);
-        assert_eq!(a.placement().replication_factor(), b.placement().replication_factor());
+        assert_eq!(
+            a.placement().replication_factor(),
+            b.placement().replication_factor()
+        );
         for v in g.vertices() {
             assert_eq!(a.placement().master(v), b.placement().master(v));
             assert_eq!(a.placement().replicas(v), b.placement().replicas(v));

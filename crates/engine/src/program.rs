@@ -218,9 +218,7 @@ mod tests {
     fn default_gather_is_disabled() {
         let p = Noop;
         assert_eq!(p.gather_direction(), EdgeDirection::None);
-        assert!(p
-            .gather_edge(0, 1, &0, &0, 3)
-            .is_none());
+        assert!(p.gather_edge(0, 1, &0, &0, 3).is_none());
         assert!(p.needs_scatter(0, &0));
     }
 }

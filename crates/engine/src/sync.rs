@@ -51,16 +51,22 @@ impl SyncPolicy {
     /// `true` when the policy guarantees that a vertex with out-edges always has at
     /// least one participating replica that owns out-edges.
     pub fn guarantees_out_edge(&self) -> bool {
-        matches!(self, SyncPolicy::Full | SyncPolicy::AtLeastOneOutEdge { .. })
+        matches!(
+            self,
+            SyncPolicy::Full | SyncPolicy::AtLeastOneOutEdge { .. }
+        )
     }
 
     /// Validates the policy's probability.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), frogwild_graph::Error> {
         let p = self.probability();
         if (0.0..=1.0).contains(&p) {
             Ok(())
         } else {
-            Err(format!("synchronization probability {p} outside [0, 1]"))
+            Err(frogwild_graph::Error::config(
+                "SyncPolicy",
+                format!("synchronization probability {p} outside [0, 1]"),
+            ))
         }
     }
 
@@ -110,7 +116,9 @@ mod tests {
         assert!(SyncPolicy::Independent { ps: 0.0 }.validate().is_ok());
         assert!(SyncPolicy::Independent { ps: 1.0 }.validate().is_ok());
         assert!(SyncPolicy::Independent { ps: 1.5 }.validate().is_err());
-        assert!(SyncPolicy::AtLeastOneOutEdge { ps: -0.1 }.validate().is_err());
+        assert!(SyncPolicy::AtLeastOneOutEdge { ps: -0.1 }
+            .validate()
+            .is_err());
     }
 
     #[test]

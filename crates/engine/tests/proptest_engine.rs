@@ -2,11 +2,11 @@
 //! hold for arbitrary graphs, machine counts and seeds, and the deterministic
 //! randomness primitives behave like proper probabilities.
 
+use frogwild_engine::rng;
 use frogwild_engine::{
     GridPartitioner, ObliviousPartitioner, PartitionedGraph, Partitioner, RandomPartitioner,
     SyncPolicy,
 };
-use frogwild_engine::rng;
 use frogwild_graph::{DiGraph, VertexId};
 use proptest::prelude::*;
 

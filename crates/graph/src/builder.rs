@@ -102,7 +102,10 @@ impl GraphBuilder {
     }
 
     /// Adds many edges at once.
-    pub fn extend_edges(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> Result<()> {
+    pub fn extend_edges(
+        &mut self,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<()> {
         for (s, d) in edges {
             self.add_edge(s, d)?;
         }
@@ -202,7 +205,10 @@ mod tests {
     fn out_of_bounds_rejected_eagerly() {
         let mut b = GraphBuilder::new(2);
         let err = b.add_edge(0, 5).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfBounds { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfBounds { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -236,7 +242,10 @@ mod tests {
     fn error_policy_reports_dangling_vertex() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 2).unwrap();
-        let err = b.dangling_policy(DanglingPolicy::Error).build().unwrap_err();
+        let err = b
+            .dangling_policy(DanglingPolicy::Error)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GraphError::DanglingVertex { vertex: 1 }));
     }
 

@@ -47,8 +47,7 @@ impl DiGraph {
         }
         let (out_offsets, out_targets) =
             build_csr(num_vertices, edges.iter().map(|&(s, d)| (s, d)));
-        let (in_offsets, in_sources) =
-            build_csr(num_vertices, edges.iter().map(|&(s, d)| (d, s)));
+        let (in_offsets, in_sources) = build_csr(num_vertices, edges.iter().map(|&(s, d)| (d, s)));
         DiGraph {
             out_offsets,
             out_targets,
@@ -131,7 +130,9 @@ impl DiGraph {
     /// The paper assumes `d_out(j) > 0` for every vertex; dangling vertices must be fixed
     /// (see [`DanglingPolicy`](crate::DanglingPolicy)) before running PageRank.
     pub fn dangling_vertices(&self) -> Vec<VertexId> {
-        self.vertices().filter(|&v| self.out_degree(v) == 0).collect()
+        self.vertices()
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// `true` if every vertex has at least one outgoing edge.
@@ -166,42 +167,48 @@ impl DiGraph {
     ///
     /// Checks that offset arrays are monotone, cover the target arrays exactly, that both
     /// directions contain the same number of edges, and that every adjacency list is sorted.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::Error> {
         let n = self.num_vertices();
         if self.in_offsets.len() != n + 1 {
-            return Err(format!(
+            return Err(crate::Error::graph(format!(
                 "in_offsets length {} does not match out_offsets length {}",
                 self.in_offsets.len(),
                 self.out_offsets.len()
-            ));
+            )));
         }
         if self.out_targets.len() != self.in_sources.len() {
-            return Err(format!(
+            return Err(crate::Error::graph(format!(
                 "edge count mismatch between directions: {} out vs {} in",
                 self.out_targets.len(),
                 self.in_sources.len()
-            ));
+            )));
         }
         for (name, offsets, targets) in [
             ("out", &self.out_offsets, &self.out_targets),
             ("in", &self.in_offsets, &self.in_sources),
         ] {
             if offsets[0] != 0 || *offsets.last().unwrap() != targets.len() {
-                return Err(format!("{name} offsets do not cover target array"));
+                return Err(crate::Error::graph(format!(
+                    "{name} offsets do not cover target array"
+                )));
             }
             for w in offsets.windows(2) {
                 if w[0] > w[1] {
-                    return Err(format!("{name} offsets not monotone"));
+                    return Err(crate::Error::graph(format!("{name} offsets not monotone")));
                 }
             }
             for v in 0..n {
                 let slice = &targets[offsets[v]..offsets[v + 1]];
                 if !slice.windows(2).all(|w| w[0] <= w[1]) {
-                    return Err(format!("{name} adjacency of vertex {v} not sorted"));
+                    return Err(crate::Error::graph(format!(
+                        "{name} adjacency of vertex {v} not sorted"
+                    )));
                 }
                 if let Some(&max) = slice.iter().max() {
                     if max as usize >= n {
-                        return Err(format!("{name} adjacency of vertex {v} out of bounds"));
+                        return Err(crate::Error::graph(format!(
+                            "{name} adjacency of vertex {v} out of bounds"
+                        )));
                     }
                 }
             }

@@ -1,0 +1,143 @@
+//! The workspace-wide typed error.
+//!
+//! Every crate in the workspace reports failures through [`Error`] so that callers —
+//! the `Session` query service, the CLI, the figure harness — can match on *what went
+//! wrong* instead of parsing strings. The enum lives in `frogwild_graph` because it is
+//! the bottom of the dependency stack; `frogwild_engine` and `frogwild` re-export it,
+//! and the canonical public path is `frogwild::Error`.
+
+/// Everything that can go wrong across the FrogWild workspace.
+///
+/// The variants mirror the four failure domains of the pipeline: configuration
+/// validation, graph construction/I/O, partitioning/placement, and query answering.
+///
+/// The enum is `#[non_exhaustive]`-free on purpose: the whole point of the typed error
+/// is that callers can match exhaustively and the compiler tells them when a new
+/// failure domain appears.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration or builder failed validation. `context` names the offending
+    /// type (e.g. `"FrogWildConfig"`); `message` describes the first problem found.
+    InvalidConfig {
+        /// The configuration type that failed validation.
+        context: &'static str,
+        /// Human-readable description of the first problem found.
+        message: String,
+    },
+    /// Graph construction, structural validation, or edge-list I/O failed.
+    Graph {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// Partitioning produced (or a consistency check found) an invalid layout.
+    Partition {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A query could not be answered (bad vertex id, empty result, unsupported
+    /// combination of parameters).
+    Query {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl Error {
+    /// An [`Error::InvalidConfig`] for the named configuration type.
+    pub fn config(context: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidConfig {
+            context,
+            message: message.into(),
+        }
+    }
+
+    /// An [`Error::Graph`].
+    pub fn graph(message: impl Into<String>) -> Self {
+        Error::Graph {
+            message: message.into(),
+        }
+    }
+
+    /// An [`Error::Partition`].
+    pub fn partition(message: impl Into<String>) -> Self {
+        Error::Partition {
+            message: message.into(),
+        }
+    }
+
+    /// An [`Error::Query`].
+    pub fn query(message: impl Into<String>) -> Self {
+        Error::Query {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable message, independent of the variant.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::InvalidConfig { message, .. }
+            | Error::Graph { message }
+            | Error::Partition { message }
+            | Error::Query { message } => message,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidConfig { context, message } => {
+                write!(f, "invalid {context}: {message}")
+            }
+            Error::Graph { message } => write!(f, "graph error: {message}"),
+            Error::Partition { message } => write!(f, "partitioning error: {message}"),
+            Error::Query { message } => write!(f, "query error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<crate::GraphError> for Error {
+    fn from(e: crate::GraphError) -> Self {
+        Error::graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context_and_message() {
+        let e = Error::config("FrogWildConfig", "num_walkers must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid FrogWildConfig: num_walkers must be positive"
+        );
+        assert_eq!(e.message(), "num_walkers must be positive");
+    }
+
+    #[test]
+    fn variants_are_distinguishable() {
+        assert_ne!(Error::graph("x"), Error::partition("x"));
+        assert_ne!(Error::query("x"), Error::graph("x"));
+        assert!(matches!(
+            Error::config("T", "m"),
+            Error::InvalidConfig { context: "T", .. }
+        ));
+    }
+
+    #[test]
+    fn graph_error_converts() {
+        let ge = crate::GraphError::InvalidParameter("zero vertices".into());
+        let e: Error = ge.into();
+        assert!(matches!(&e, Error::Graph { message } if message.contains("zero vertices")));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_std_error(_: &dyn std::error::Error) {}
+        takes_std_error(&Error::query("q"));
+    }
+}

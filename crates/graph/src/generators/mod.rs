@@ -8,14 +8,14 @@
 //!
 //! Four random families are provided:
 //!
-//! * [`rmat`] — the recursive-matrix (Kronecker) generator behind Graph500, which is the
+//! * [`rmat()`] — the recursive-matrix (Kronecker) generator behind Graph500, which is the
 //!   standard stand-in for social graphs in the graph-engine literature (it is the
 //!   generator the PowerGraph paper itself uses for synthetic scaling studies).
-//! * [`chung_lu`] — the Chung–Lu configuration model with an explicit power-law expected
+//! * [`chung_lu()`] — the Chung–Lu configuration model with an explicit power-law expected
 //!   degree sequence, when direct control over the exponent is needed.
-//! * [`preferential_attachment`] — Barabási–Albert growth, producing the age/degree
+//! * [`preferential_attachment()`] — Barabási–Albert growth, producing the age/degree
 //!   correlation real citation and follower graphs show.
-//! * [`watts_strogatz`] — small-world graphs with a *flat* degree distribution, used as
+//! * [`watts_strogatz()`] — small-world graphs with a *flat* degree distribution, used as
 //!   the negative control in the ablation benchmarks (FrogWild's advantage shrinks when
 //!   the PageRank vector carries no heavy tail).
 //!

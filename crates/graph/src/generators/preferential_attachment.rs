@@ -3,8 +3,8 @@
 //! The FrogWild analysis (Proposition 7) only needs the *tail* of the PageRank vector to
 //! follow a power law; preferential attachment is the classic growth process producing
 //! such tails (exponent ≈ 3 for the pure model, tunable towards the paper's θ ≈ 2.2 by
-//! mixing in uniform attachment). The generator complements [`rmat`](super::rmat) and
-//! [`chung_lu`](super::chung_lu): R-MAT controls community structure, Chung–Lu controls
+//! mixing in uniform attachment). The generator complements [`rmat`](super::rmat()) and
+//! [`chung_lu`](super::chung_lu()): R-MAT controls community structure, Chung–Lu controls
 //! the exponent exactly, and preferential attachment produces the "rich get richer"
 //! correlation between age and degree that real citation/follower graphs show.
 
@@ -35,14 +35,17 @@ impl Default for PrefAttachParams {
 
 impl PrefAttachParams {
     /// Validates the parameters, returning a description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::Error> {
         if self.edges_per_vertex == 0 {
-            return Err("edges_per_vertex must be positive".into());
+            return Err(crate::Error::config(
+                "PrefAttachParams",
+                "edges_per_vertex must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&self.uniform_mix) {
-            return Err(format!(
-                "uniform_mix must be in [0, 1], got {}",
-                self.uniform_mix
+            return Err(crate::Error::config(
+                "PrefAttachParams",
+                format!("uniform_mix must be in [0, 1], got {}", self.uniform_mix),
             ));
         }
         Ok(())
@@ -72,7 +75,9 @@ pub fn preferential_attachment<R: Rng>(
     params: PrefAttachParams,
     rng: &mut R,
 ) -> DiGraph {
-    params.validate().expect("invalid preferential-attachment parameters");
+    if let Err(e) = params.validate() {
+        panic!("{e}");
+    }
     let m = params.edges_per_vertex;
     assert!(
         num_vertices > m,
@@ -80,8 +85,8 @@ pub fn preferential_attachment<R: Rng>(
     );
 
     let seed_vertices = m + 1;
-    let mut builder =
-        GraphBuilder::new(num_vertices).with_edge_capacity(seed_vertices + (num_vertices - seed_vertices) * m);
+    let mut builder = GraphBuilder::new(num_vertices)
+        .with_edge_capacity(seed_vertices + (num_vertices - seed_vertices) * m);
 
     // `targets` is the classic repeated-vertex list: every time a vertex receives an
     // in-edge it is appended once, so sampling a uniform element of the list samples

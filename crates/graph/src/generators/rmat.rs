@@ -50,19 +50,28 @@ impl RmatParams {
 
     /// Checks that the quadrant probabilities form a distribution and the edge factor is
     /// positive.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::Error> {
         let d = self.d();
         if self.a < 0.0 || self.b < 0.0 || self.c < 0.0 || d < -1e-9 {
-            return Err(format!(
-                "quadrant probabilities must be non-negative (a={}, b={}, c={}, d={})",
-                self.a, self.b, self.c, d
+            return Err(crate::Error::config(
+                "RmatParams",
+                format!(
+                    "quadrant probabilities must be non-negative (a={}, b={}, c={}, d={})",
+                    self.a, self.b, self.c, d
+                ),
             ));
         }
         if self.edge_factor <= 0.0 {
-            return Err("edge_factor must be positive".to_string());
+            return Err(crate::Error::config(
+                "RmatParams",
+                "edge_factor must be positive",
+            ));
         }
         if !(0.0..0.5).contains(&self.noise) {
-            return Err("noise must be in [0, 0.5)".to_string());
+            return Err(crate::Error::config(
+                "RmatParams",
+                "noise must be in [0, 0.5)",
+            ));
         }
         Ok(())
     }
@@ -73,7 +82,9 @@ impl RmatParams {
 /// `edge_factor * num_vertices` directed edges. Dangling vertices receive self-loops.
 pub fn rmat<R: Rng>(num_vertices: usize, params: RmatParams, rng: &mut R) -> DiGraph {
     assert!(num_vertices > 0, "rmat requires at least one vertex");
-    params.validate().expect("invalid R-MAT parameters");
+    if let Err(e) = params.validate() {
+        panic!("{e}");
+    }
 
     let scale = (num_vertices as f64).log2().ceil().max(1.0) as u32;
     let padded = 1usize << scale;

@@ -31,14 +31,20 @@ impl Default for WattsStrogatzParams {
 
 impl WattsStrogatzParams {
     /// Validates the parameters, returning a description of the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::Error> {
         if self.neighbors == 0 {
-            return Err("neighbors must be positive".into());
+            return Err(crate::Error::config(
+                "WattsStrogatzParams",
+                "neighbors must be positive",
+            ));
         }
         if !(0.0..=1.0).contains(&self.rewire_probability) {
-            return Err(format!(
-                "rewire_probability must be in [0, 1], got {}",
-                self.rewire_probability
+            return Err(crate::Error::config(
+                "WattsStrogatzParams",
+                format!(
+                    "rewire_probability must be in [0, 1], got {}",
+                    self.rewire_probability
+                ),
             ));
         }
         Ok(())
@@ -63,7 +69,9 @@ pub fn watts_strogatz<R: Rng>(
     params: WattsStrogatzParams,
     rng: &mut R,
 ) -> DiGraph {
-    params.validate().expect("invalid Watts–Strogatz parameters");
+    if let Err(e) = params.validate() {
+        panic!("{e}");
+    }
     let k = params.neighbors;
     assert!(
         num_vertices > k,
@@ -162,7 +170,10 @@ mod tests {
             .flat_map(|v| (1..=4u32).map(move |o| (v, (v + o) % 1_000)))
             .filter(|&(v, dst)| g.has_edge(v, dst))
             .count();
-        assert!(surviving < 100, "{surviving} lattice edges survived full rewiring");
+        assert!(
+            surviving < 100,
+            "{surviving} lattice edges survived full rewiring"
+        );
     }
 
     #[test]
@@ -191,7 +202,14 @@ mod tests {
     #[should_panic(expected = "need more than")]
     fn rejects_too_few_vertices() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let _ = watts_strogatz(4, WattsStrogatzParams { neighbors: 6, rewire_probability: 0.1 }, &mut rng);
+        let _ = watts_strogatz(
+            4,
+            WattsStrogatzParams {
+                neighbors: 6,
+                rewire_probability: 0.1,
+            },
+            &mut rng,
+        );
     }
 
     #[test]

@@ -241,8 +241,8 @@ mod tests {
 
     #[test]
     fn empty_input_gives_empty_graph() {
-        let (g, _) = read_edge_list("# only comments\n".as_bytes(), &EdgeListOptions::default())
-            .unwrap();
+        let (g, _) =
+            read_edge_list("# only comments\n".as_bytes(), &EdgeListOptions::default()).unwrap();
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
     }

@@ -28,6 +28,7 @@
 
 mod builder;
 mod csr;
+pub mod error;
 pub mod generators;
 pub mod io;
 pub mod snapshot;
@@ -37,6 +38,7 @@ pub mod transform;
 
 pub use builder::{DanglingPolicy, GraphBuilder};
 pub use csr::{DiGraph, EdgeIter, VertexId};
+pub use error::Error;
 
 /// Errors produced while constructing or loading graphs.
 #[derive(Debug)]

@@ -113,7 +113,10 @@ pub fn hill_tail_exponent(values: &[f64], k: usize) -> Option<f64> {
 /// Convenience wrapper: Hill estimate of the in-degree tail exponent using the top
 /// `fraction` of vertices (a typical choice is 0.05).
 pub fn in_degree_tail_exponent(graph: &DiGraph, fraction: f64) -> Option<f64> {
-    let values: Vec<f64> = graph.vertices().map(|v| graph.in_degree(v) as f64).collect();
+    let values: Vec<f64> = graph
+        .vertices()
+        .map(|v| graph.in_degree(v) as f64)
+        .collect();
     let k = ((values.len() as f64 * fraction).ceil() as usize).max(2);
     hill_tail_exponent(&values, k)
 }
@@ -207,7 +210,10 @@ mod tests {
             })
             .collect();
         let est = hill_tail_exponent(&values, 5_000).unwrap();
-        assert!((est - theta).abs() < 0.15, "estimated {est}, expected {theta}");
+        assert!(
+            (est - theta).abs() < 0.15,
+            "estimated {est}, expected {theta}"
+        );
     }
 
     #[test]

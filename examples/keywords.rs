@@ -44,9 +44,9 @@ PageRank vertices with a fraction of the network cost of the exact computation.
 /// keyword vertex, approximating the paper's "nouns, verbs and adjectives" filter.
 const STOP_WORDS: &[&str] = &[
     "the", "and", "for", "are", "with", "that", "this", "from", "each", "must", "only", "its",
-    "was", "has", "have", "not", "but", "can", "over", "into", "because", "every", "very",
-    "their", "where", "which", "needs", "gives", "give", "together", "becoming", "is", "of",
-    "in", "to", "a", "an", "so", "or",
+    "was", "has", "have", "not", "but", "can", "over", "into", "because", "every", "very", "their",
+    "where", "which", "needs", "gives", "give", "together", "becoming", "is", "of", "in", "to",
+    "a", "an", "so", "or",
 ];
 
 /// Tokenizes the text, maps distinct words to vertex ids, and connects words
@@ -88,7 +88,7 @@ fn build_cooccurrence_graph(text: &str) -> (DiGraph, Vec<String>) {
     (graph, words)
 }
 
-fn main() {
+fn main() -> Result<()> {
     let (graph, words) = build_cooccurrence_graph(TEXT);
     println!(
         "co-occurrence graph: {} distinct words, {} edges",
@@ -100,15 +100,16 @@ fn main() {
     let truth = exact_pagerank(&graph, 0.15, 200, 1e-12);
 
     // The graph is tiny, so a handful of machines and walkers suffice; the point is the
-    // pipeline, not the scale.
-    let cluster = ClusterConfig::new(4, 3);
+    // pipeline, not the scale. In a streaming-corpus deployment the session would stay
+    // alive and answer a top-k query per document batch.
+    let mut session = Session::builder(&graph).machines(4).seed(3).build()?;
     let config = FrogWildConfig {
         num_walkers: 20_000,
         iterations: 5,
         sync_probability: 0.7,
         ..FrogWildConfig::default()
     };
-    let report = run_frogwild(&graph, &cluster, &config);
+    let report = session.query(&Query::TopK { k, config })?;
 
     let accuracy = mass_captured(&report.estimate, &truth.scores, k);
     let ident = exact_identification(&report.estimate, &truth.scores, k);
@@ -118,15 +119,24 @@ fn main() {
         ident
     );
 
-    println!("{:<6} {:<22} {:<22}", "rank", "FrogWild keyword", "exact TextRank keyword");
-    let approx_top = report.top_k(k);
+    println!(
+        "{:<6} {:<22} {:<22}",
+        "rank", "FrogWild keyword", "exact TextRank keyword"
+    );
+    let approx_top = report.top_vertices();
     let exact_top = top_k(&truth.scores, k);
     for i in 0..k {
         println!(
             "{:<6} {:<22} {:<22}",
             i + 1,
-            approx_top.get(i).map(|&v| words[v as usize].as_str()).unwrap_or("-"),
-            exact_top.get(i).map(|&v| words[v as usize].as_str()).unwrap_or("-"),
+            approx_top
+                .get(i)
+                .map(|&v| words[v as usize].as_str())
+                .unwrap_or("-"),
+            exact_top
+                .get(i)
+                .map(|&v| words[v as usize].as_str())
+                .unwrap_or("-"),
         );
     }
 
@@ -135,4 +145,5 @@ fn main() {
          network, ...) while touching only a few thousand walker messages — the keyword \
          use-case from the paper's introduction."
     );
+    Ok(())
 }

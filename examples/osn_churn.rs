@@ -65,8 +65,9 @@ fn build_mixed_graph(rng: &mut SmallRng) -> DiGraph {
     let connectivity_copies = (((1.0 - ACTIVITY_WEIGHT) * 10.0).round() as usize).max(1);
     let activity_copies = ((ACTIVITY_WEIGHT * 10.0).round() as usize).max(1);
 
-    let mut builder = GraphBuilder::new(USERS)
-        .with_edge_capacity(connectivity.num_edges() * connectivity_copies + active_users.len() * 8);
+    let mut builder = GraphBuilder::new(USERS).with_edge_capacity(
+        connectivity.num_edges() * connectivity_copies + active_users.len() * 8,
+    );
     for (src, dst) in connectivity.edges() {
         for _ in 0..connectivity_copies {
             builder.add_edge_unchecked(src, dst);
@@ -92,7 +93,7 @@ fn build_mixed_graph(rng: &mut SmallRng) -> DiGraph {
         .expect("valid mixed graph")
 }
 
-fn main() {
+fn main() -> Result<()> {
     let mut rng = SmallRng::seed_from_u64(77);
     let graph = build_mixed_graph(&mut rng);
     println!(
@@ -109,31 +110,40 @@ fn main() {
         "machines", "algorithm", "mass@200", "iter time (s)", "net bytes", "cpu (s)"
     );
     for machines in [12usize, 16, 20, 24] {
-        let cluster = ClusterConfig::new(machines, 5);
-        let pg = frogwild::driver::partition_graph(&graph, &cluster);
+        // One session per cluster size: both algorithms below share its layout.
+        let mut session = Session::builder(&graph)
+            .machines(machines)
+            .seed(5)
+            .build()?;
 
-        let frogwild_report = frogwild::driver::run_frogwild_on(
-            &pg,
-            &FrogWildConfig {
+        let frogwild_response = session.query(&Query::TopK {
+            k,
+            config: FrogWildConfig {
                 num_walkers: 200_000,
                 iterations: 4,
                 sync_probability: 0.4,
                 ..FrogWildConfig::default()
             },
-        );
-        let pr_report =
-            frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2));
+        })?;
+        let pr_response = session.query(&Query::Pagerank {
+            k,
+            config: PageRankConfig::truncated(2),
+        })?;
 
-        for report in [&frogwild_report, &pr_report] {
-            let mass = mass_captured(&report.estimate, &truth.scores, k);
+        for response in [&frogwild_response, &pr_response] {
+            let mass = mass_captured(&response.estimate, &truth.scores, k);
             println!(
                 "{:<10} {:<22} {:>10.4} {:>14.4} {:>16} {:>14.4}",
                 machines,
-                report.algorithm.split(" walkers").next().unwrap_or(&report.algorithm),
+                response
+                    .algorithm
+                    .split(" walkers")
+                    .next()
+                    .unwrap_or(&response.algorithm),
                 mass.normalized(),
-                report.cost.simulated_seconds_per_iteration,
-                report.cost.network_bytes,
-                report.cost.simulated_cpu_seconds,
+                response.cost.simulated_seconds / response.cost.supersteps.max(1) as f64,
+                response.cost.network_bytes,
+                response.cost.simulated_cpu_seconds,
             );
         }
     }
@@ -144,4 +154,5 @@ fn main() {
          accuracy — the behaviour the paper's Figure 1 reports for the Twitter graph, here on a \
          churn-prediction workload built from a connectivity/activity mixture."
     );
+    Ok(())
 }

@@ -1,5 +1,5 @@
-//! Quickstart: estimate the top PageRank vertices of a synthetic social graph with
-//! FrogWild and compare against exact PageRank and the truncated-PageRank baseline.
+//! Quickstart: build one `Session` over a synthetic social graph, then serve FrogWild
+//! and baseline PageRank queries against it and compare accuracy and cost.
 //!
 //! Run with:
 //!
@@ -11,7 +11,7 @@ use frogwild::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<()> {
     // 1. Build (or load) a directed graph. Here: a scaled-down graph with the
     //    LiveJournal graph's shape. `frogwild_graph::io::read_edge_list_file` loads the
     //    real SNAP datasets in exactly the same representation.
@@ -23,53 +23,78 @@ fn main() {
         graph.num_edges()
     );
 
-    // 2. Describe the simulated cluster (the paper uses 12-24 machines on AWS).
-    let cluster = ClusterConfig::new(16, 7);
+    // 2. Build the session: the graph is partitioned over a simulated 16-machine
+    //    cluster exactly once (the paper uses 12-24 machines on AWS). Every query
+    //    below reuses this layout.
+    let mut session = Session::builder(&graph).machines(16).seed(7).build()?;
 
-    // 3. Run FrogWild: 100k walkers, 4 iterations, 70% mirror synchronization.
+    // 3. Query FrogWild: 100k walkers, 4 iterations, 70% mirror synchronization.
+    let k = 100;
     let config = FrogWildConfig {
         num_walkers: 100_000,
         iterations: 4,
         sync_probability: 0.7,
         ..FrogWildConfig::default()
     };
-    let frogwild_report = run_frogwild(&graph, &cluster, &config);
+    let frogwild_response = session.query(&Query::TopK { k, config })?;
 
-    // 4. Run the baselines on the same cluster: exact PageRank and 2-iteration PageRank.
-    let exact_report = run_graphlab_pr(&graph, &cluster, &PageRankConfig::exact());
-    let truncated_report = run_graphlab_pr(&graph, &cluster, &PageRankConfig::truncated(2));
+    // 4. Query the baselines on the same session: exact and 2-iteration PageRank.
+    let exact_response = session.query(&Query::Pagerank {
+        k,
+        config: PageRankConfig::exact(),
+    })?;
+    let truncated_response = session.query(&Query::Pagerank {
+        k,
+        config: PageRankConfig::truncated(2),
+    })?;
 
     // 5. Score everything against the serial exact PageRank (the ground truth π).
     let truth = exact_pagerank(&graph, 0.15, 200, 1e-12);
-    let k = 100;
 
-    println!("\n{:<28} {:>10} {:>14} {:>14} {:>12}", "algorithm", "mass@100", "sim time (s)", "net bytes", "supersteps");
-    for report in [&frogwild_report, &truncated_report, &exact_report] {
-        let accuracy = mass_captured(&report.estimate, &truth.scores, k);
+    println!(
+        "\n{:<28} {:>10} {:>14} {:>14} {:>12}",
+        "algorithm", "mass@100", "sim time (s)", "net bytes", "supersteps"
+    );
+    for response in [&frogwild_response, &truncated_response, &exact_response] {
+        let accuracy = mass_captured(&response.estimate, &truth.scores, k);
         println!(
             "{:<28} {:>10.4} {:>14.4} {:>14} {:>12}",
-            report.algorithm.split(" walkers").next().unwrap_or(&report.algorithm),
+            response
+                .algorithm
+                .split(" walkers")
+                .next()
+                .unwrap_or(&response.algorithm),
             accuracy.normalized(),
-            report.cost.simulated_total_seconds,
-            report.cost.network_bytes,
-            report.cost.supersteps
+            response.cost.simulated_seconds,
+            response.cost.network_bytes,
+            response.cost.supersteps
         );
     }
 
     // 6. Print the estimated top-10 vertices with their exact ranks for a sanity check.
     println!("\ntop-10 vertices according to FrogWild (exact PageRank in parentheses):");
     let exact_top: Vec<VertexId> = top_k(&truth.scores, 10);
-    for (rank, v) in frogwild_report.top_k(10).into_iter().enumerate() {
-        let exact_position = exact_top.iter().position(|&u| u == v);
+    for (rank, (v, _)) in frogwild_response.ranking.iter().take(10).enumerate() {
+        let exact_position = exact_top.iter().position(|&u| u == *v);
         println!(
             "  #{:<3} vertex {:<8} π = {:.6} {}",
             rank + 1,
             v,
-            truth.scores[v as usize],
+            truth.scores[*v as usize],
             match exact_position {
                 Some(p) => format!("(exact rank #{})", p + 1),
                 None => "(outside exact top-10)".to_string(),
             }
         );
     }
+
+    // 7. The session tracked the whole stream: three queries, one partitioning.
+    let stats = session.stats();
+    println!(
+        "\nsession: {} queries served, partitioned once in {:.3}s ({:.3}s amortized per query)",
+        stats.queries_served,
+        stats.partition_seconds,
+        stats.amortized_partition_seconds()
+    );
+    Ok(())
 }

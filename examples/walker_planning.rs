@@ -22,10 +22,12 @@ use frogwild::theory::recommended_iterations;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<()> {
     let mut rng = SmallRng::seed_from_u64(77);
     let graph = frogwild_graph::generators::livejournal_like(25_000, &mut rng);
-    let cluster = ClusterConfig::new(16, 5);
+    // The pilot and the planned run reuse one session layout — the workflow the
+    // `Query::AutotunedTopK` variant automates in a single query.
+    let mut session = Session::builder(&graph).machines(16).seed(5).build()?;
     let k = 50;
     println!(
         "graph: {} vertices, {} edges — target: top-{k}",
@@ -35,19 +37,17 @@ fn main() {
 
     // ------------------------------------------------------------------ 1. pilot run
     let pilot_walkers = 10_000u64;
-    let pilot = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
+    let pilot = session.query(&Query::TopK {
+        k,
+        config: FrogWildConfig {
             num_walkers: pilot_walkers,
             iterations: 3,
             sync_probability: 1.0,
             ..FrogWildConfig::default()
         },
-    );
+    })?;
     // The pilot's own estimate of how much mass the top-k holds.
-    let pilot_top = pilot.top_k(k);
-    let pilot_mass: f64 = pilot_top.iter().map(|&v| pilot.estimate[v as usize]).sum();
+    let pilot_mass: f64 = pilot.ranking.iter().map(|&(_, mass)| mass).sum();
     println!("\npilot ({pilot_walkers} walkers): estimated top-{k} mass ≈ {pilot_mass:.3}");
 
     // ------------------------------------------------------------------ 2. plan
@@ -61,16 +61,15 @@ fn main() {
     println!("planned run: {budget} walkers, {iterations} iterations");
 
     // ------------------------------------------------------------------ 3. real run
-    let report = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
+    let report = session.query(&Query::TopK {
+        k,
+        config: FrogWildConfig {
             num_walkers: budget,
             iterations,
             sync_probability: 0.7,
             ..FrogWildConfig::default()
         },
-    );
+    })?;
     let truth = exact_pagerank(&graph, 0.15, 200, 1e-12);
     let achieved = mass_captured(&report.estimate, &truth.scores, k);
     println!(
@@ -82,7 +81,7 @@ fn main() {
     // Per-vertex confidence intervals on the head of the list, and the probability that
     // consecutive entries are ordered correctly.
     println!("\nhead of the estimated ranking with 95% Wilson intervals:");
-    let top = report.top_k(8);
+    let top: Vec<VertexId> = report.top_vertices().into_iter().take(8).collect();
     for (rank, &v) in top.iter().enumerate() {
         let count = (report.estimate[v as usize] * budget as f64).round() as u64;
         let interval = wilson_interval(count.min(budget), budget, 0.05);
@@ -103,4 +102,5 @@ fn main() {
             separation
         );
     }
+    Ok(())
 }

@@ -17,12 +17,11 @@
 //! cargo run --release --example who_to_follow
 //! ```
 
-use frogwild::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
 use frogwild::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<()> {
     // A scaled-down follower graph with the Twitter graph's shape.
     let mut rng = SmallRng::seed_from_u64(2026);
     let graph = frogwild_graph::generators::twitter_like(15_000, &mut rng);
@@ -32,22 +31,31 @@ fn main() {
         graph.num_edges()
     );
 
+    // One session serves both shelves: the engine-backed global ranking and the
+    // serial personalized queries share the same service object.
+    let mut session = Session::builder(&graph).machines(12).seed(9).build()?;
+
     // ---------------------------------------------------------------- global shelf
-    let cluster = ClusterConfig::new(12, 9);
-    let report = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
+    let report = session.query(&Query::TopK {
+        k: 10,
+        config: FrogWildConfig {
             num_walkers: 120_000,
             iterations: 4,
             sync_probability: 0.7,
             ..FrogWildConfig::default()
         },
+    })?;
+    println!(
+        "\nglobal \"popular accounts\" shelf (FrogWild, {} bytes of network traffic):",
+        report.cost.network_bytes
     );
-    let global_top = report.top_k(10);
-    println!("\nglobal \"popular accounts\" shelf (FrogWild, {} bytes of network traffic):", report.cost.network_bytes);
-    for (rank, v) in global_top.iter().enumerate() {
-        println!("  #{:<2} account {:<8} estimated mass {:.5}", rank + 1, v, report.estimate[*v as usize]);
+    for (rank, (v, mass)) in report.ranking.iter().enumerate() {
+        println!(
+            "  #{:<2} account {:<8} estimated mass {:.5}",
+            rank + 1,
+            v,
+            mass
+        );
     }
 
     // ---------------------------------------------------------------- personal shelf
@@ -56,38 +64,53 @@ fn main() {
         .vertices()
         .find(|&v| (3..20).contains(&graph.out_degree(v)))
         .expect("the generator always produces mid-degree users");
-    let push = forward_push_ppr(&graph, user, 0.15, 1e-6);
-    println!(
-        "\npersonal \"because you follow…\" shelf for user {user} \
-         ({} pushes, residual mass {:.4}):",
-        push.pushes,
-        push.residual_mass()
-    );
+    let push = session.query(&Query::Ppr {
+        source: user,
+        k: 30,
+        teleport_probability: 0.15,
+        method: PprMethod::ForwardPush { epsilon: 1e-6 },
+    })?;
+    if let ResponseDetail::Ppr {
+        pushes, residual, ..
+    } = push.detail
+    {
+        println!(
+            "\npersonal \"because you follow…\" shelf for user {user} \
+             ({pushes} pushes, residual mass {residual:.4}):"
+        );
+    }
     let mut recommended = 0usize;
-    for v in top_k(&push.estimate, 30) {
+    for v in push.top_vertices() {
         // Skip the user themself and accounts they already follow.
         if v == user || graph.has_edge(user, v) {
             continue;
         }
         recommended += 1;
-        println!("  #{:<2} account {:<8} ppr {:.6}", recommended, v, push.estimate[v as usize]);
+        println!(
+            "  #{:<2} account {:<8} ppr {:.6}",
+            recommended, v, push.estimate[v as usize]
+        );
         if recommended == 10 {
             break;
         }
     }
 
     // ---------------------------------------------------------------- sanity check
-    // Forward push is an approximation; verify its top picks against exact PPR.
-    let exact = personalized_pagerank(
-        &graph,
-        &single_source_restart(graph.num_vertices(), user),
-        0.15,
-        200,
-        1e-10,
-    );
-    let agreement = exact_identification(&push.estimate, &exact.scores, 20);
+    // Forward push is an approximation; verify its top picks against exact PPR
+    // served by the same session.
+    let exact = session.query(&Query::Ppr {
+        source: user,
+        k: 20,
+        teleport_probability: 0.15,
+        method: PprMethod::PowerIteration {
+            max_iterations: 200,
+            tolerance: 1e-10,
+        },
+    })?;
+    let agreement = exact_identification(&push.estimate, &exact.estimate, 20);
     println!(
         "\nforward push agrees with exact personalized PageRank on {:.0}% of the top-20",
         agreement * 100.0
     );
+    Ok(())
 }

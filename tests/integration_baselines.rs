@@ -26,30 +26,38 @@ fn sparsified_pagerank_accuracy_is_comparable_but_cost_is_higher_than_frogwild()
     let k = 100;
 
     // Walkers ≪ vertices: the regime both the paper and the algorithm target.
-    let fw = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
-            num_walkers: 500,
-            iterations: 4,
-            sync_probability: 0.7,
-            ..FrogWildConfig::default()
-        },
-    );
+    let mut session = Session::builder(&graph)
+        .machines(cluster.num_machines)
+        .seed(cluster.seed)
+        .build()
+        .unwrap();
+    let fw = session
+        .query(&Query::TopK {
+            k,
+            config: FrogWildConfig {
+                num_walkers: 500,
+                iterations: 4,
+                sync_probability: 0.7,
+                ..FrogWildConfig::default()
+            },
+        })
+        .unwrap();
     let fw_mass = mass_captured(&fw.estimate, &truth.scores, k).normalized();
     assert!(fw_mass > 0.5, "frogwild accuracy {fw_mass}");
 
     for q in [0.4, 0.7] {
-        let baseline = run_sparsified_pr(&graph, &cluster, q, &PageRankConfig::truncated(2));
+        let baseline =
+            run_sparsified_pr(&graph, &cluster, q, &PageRankConfig::truncated(2)).unwrap();
         let mass = mass_captured(&baseline.estimate, &truth.scores, k).normalized();
         // comparable accuracy…
         assert!(mass > 0.75, "sparsified q={q} accuracy {mass}");
         // …but higher per-iteration time, CPU and network than FrogWild.
         assert!(
-            baseline.cost.simulated_seconds_per_iteration > fw.cost.simulated_seconds_per_iteration,
+            baseline.cost.simulated_seconds_per_iteration
+                > fw.cost.simulated_seconds / fw.cost.supersteps.max(1) as f64,
             "q={q}: sparsified {}s/iter vs FrogWild {}s/iter",
             baseline.cost.simulated_seconds_per_iteration,
-            fw.cost.simulated_seconds_per_iteration
+            fw.cost.simulated_seconds / fw.cost.supersteps.max(1) as f64
         );
         assert!(
             baseline.cost.simulated_cpu_seconds > fw.cost.simulated_cpu_seconds,
@@ -73,8 +81,13 @@ fn sparsification_reduces_pagerank_cost_but_not_below_frogwild() {
     let graph = test_graph(2_000, 3);
     let cluster = ClusterConfig::new(12, 4);
 
-    let full = run_graphlab_pr(&graph, &cluster, &PageRankConfig::truncated(2));
-    let sparsified = run_sparsified_pr(&graph, &cluster, 0.4, &PageRankConfig::truncated(2));
+    let full = frogwild::driver::run_graphlab_pr_on(
+        &frogwild::driver::partition_graph(&graph, &cluster),
+        &PageRankConfig::truncated(2),
+    )
+    .unwrap();
+    let sparsified =
+        run_sparsified_pr(&graph, &cluster, 0.4, &PageRankConfig::truncated(2)).unwrap();
     assert!(
         sparsified.cost.simulated_cpu_seconds < full.cost.simulated_cpu_seconds,
         "sparsified CPU {} vs full {}",
@@ -94,14 +107,11 @@ fn paper_sweep_configs_are_usable_end_to_end() {
             &cluster,
             config.keep_probability,
             &config.pagerank_config(9),
-        );
+        )
+        .unwrap();
         assert_eq!(report.estimate.len(), graph.num_vertices());
         let mass = mass_captured(&report.estimate, &truth.scores, 50).normalized();
-        assert!(
-            mass > 0.6,
-            "q={} accuracy {mass}",
-            config.keep_probability
-        );
+        assert!(mass > 0.6, "q={} accuracy {mass}", config.keep_probability);
     }
 }
 
@@ -119,8 +129,9 @@ fn exact_pagerank_baseline_dominates_accuracy_but_not_cost() {
             tolerance: 1e-10,
             ..PageRankConfig::default()
         },
-    );
-    let one = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1));
+    )
+    .unwrap();
+    let one = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1)).unwrap();
     let fw = frogwild::driver::run_frogwild_on(
         &pg,
         &FrogWildConfig {
@@ -129,7 +140,8 @@ fn exact_pagerank_baseline_dominates_accuracy_but_not_cost() {
             sync_probability: 0.7,
             ..FrogWildConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     let k = 100;
     let exact_mass = mass_captured(&exact.estimate, &truth.scores, k).normalized();

@@ -38,7 +38,8 @@ fn figure1_shape_frogwild_dominates_cost_across_cluster_sizes() {
                 sync_probability: 1.0,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .unwrap();
         let fw_low = frogwild::driver::run_frogwild_on(
             &pg,
             &FrogWildConfig {
@@ -47,7 +48,8 @@ fn figure1_shape_frogwild_dominates_cost_across_cluster_sizes() {
                 sync_probability: 0.1,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .unwrap();
         let pr_exact = frogwild::driver::run_graphlab_pr_on(
             &pg,
             &PageRankConfig {
@@ -55,7 +57,8 @@ fn figure1_shape_frogwild_dominates_cost_across_cluster_sizes() {
                 tolerance: 1e-9,
                 ..PageRankConfig::default()
             },
-        );
+        )
+        .unwrap();
 
         assert!(
             fw_full.cost.simulated_seconds_per_iteration
@@ -89,9 +92,10 @@ fn figure2_shape_accuracy_ordering_across_k() {
             sync_probability: 0.7,
             ..FrogWildConfig::default()
         },
-    );
-    let pr1 = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1));
-    let pr2 = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2));
+    )
+    .unwrap();
+    let pr1 = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1)).unwrap();
+    let pr2 = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2)).unwrap();
 
     for k in [30usize, 100, 300] {
         let fw_mass = mass_captured(&fw.estimate, &w.truth, k).normalized();
@@ -103,7 +107,10 @@ fn figure2_shape_accuracy_ordering_across_k() {
             fw_mass > pr1_mass - 0.03,
             "k={k}: FrogWild {fw_mass} vs 1-iter PR {pr1_mass}"
         );
-        assert!(pr2_mass > pr1_mass - 0.02, "k={k}: 2-iter should not trail 1-iter");
+        assert!(
+            pr2_mass > pr1_mass - 0.02,
+            "k={k}: 2-iter should not trail 1-iter"
+        );
         assert!(fw_mass > 0.85, "k={k}: FrogWild accuracy {fw_mass}");
     }
 }
@@ -127,7 +134,8 @@ fn figure3_shape_accuracy_cost_tradeoff() {
                 sync_probability: ps,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .unwrap();
         points.push((
             mass_captured(&report.estimate, &w.truth, k).normalized(),
             report.cost.network_bytes,
@@ -145,7 +153,8 @@ fn figure3_shape_accuracy_cost_tradeoff() {
             tolerance: 1e-9,
             ..PageRankConfig::default()
         },
-    );
+    )
+    .unwrap();
     let exact_mass = mass_captured(&pr_exact.estimate, &w.truth, k).normalized();
     assert!(exact_mass >= points[2].0 - 1e-9);
     assert!(pr_exact.cost.network_bytes > points[2].1);
@@ -171,7 +180,8 @@ fn figure6_shape_livejournal_walker_and_iteration_sweeps() {
                 sync_probability: 0.7,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .unwrap();
         (
             mass_captured(&r.estimate, &truth, k).normalized(),
             r.cost.simulated_total_seconds,
@@ -180,7 +190,10 @@ fn figure6_shape_livejournal_walker_and_iteration_sweeps() {
 
     let (acc_small, time_small) = run(10_000, 4);
     let (acc_large, time_large) = run(160_000, 4);
-    assert!(acc_large >= acc_small - 0.02, "walker sweep: {acc_small} -> {acc_large}");
+    assert!(
+        acc_large >= acc_small - 0.02,
+        "walker sweep: {acc_small} -> {acc_large}"
+    );
     assert!(time_large >= time_small, "time should grow with walkers");
 
     let (acc_2, _) = run(80_000, 2);
@@ -206,6 +219,7 @@ fn figure8_shape_network_grows_linearly_with_walkers() {
                 ..FrogWildConfig::default()
             },
         )
+        .unwrap()
         .cost
         .network_bytes as f64
     };

@@ -14,17 +14,22 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn normalized_engine_pagerank(graph: &DiGraph, machines: usize, iterations: usize) -> Vec<f64> {
-    let cluster = ClusterConfig::new(machines, 99);
-    let report = frogwild::run_graphlab_pr(
-        graph,
-        &cluster,
-        &frogwild::PageRankConfig {
-            max_iterations: iterations,
-            tolerance: 1e-12,
-            ..frogwild::PageRankConfig::default()
-        },
-    );
-    report.estimate
+    let mut session = Session::builder(graph)
+        .machines(machines)
+        .seed(99)
+        .build()
+        .unwrap();
+    let response = session
+        .query(&Query::Pagerank {
+            k: 10,
+            config: frogwild::PageRankConfig {
+                max_iterations: iterations,
+                tolerance: 1e-12,
+                ..frogwild::PageRankConfig::default()
+            },
+        })
+        .unwrap();
+    response.estimate
 }
 
 #[test]
@@ -61,7 +66,7 @@ fn engine_pagerank_is_invariant_to_partitioner_choice() {
         tolerance: 1e-12,
         ..frogwild::PageRankConfig::default()
     };
-    let program = || PageRankProgram::new(&config);
+    let program = || PageRankProgram::new(&config).unwrap();
     let engine_config = EngineConfig {
         sync_policy: SyncPolicy::Full,
         max_supersteps: config.max_iterations,
@@ -73,7 +78,7 @@ fn engine_pagerank_is_invariant_to_partitioner_choice() {
         [&RandomPartitioner, &GridPartitioner, &ObliviousPartitioner];
     for partitioner in partitioners {
         let pg = PartitionedGraph::build(&graph, 8, partitioner, 11);
-        let engine = Engine::new(&pg, program(), engine_config.clone());
+        let engine = Engine::new(&pg, program(), engine_config.clone()).unwrap();
         let out = engine.run(InitialActivation::AllVertices);
         let mut scores: Vec<f64> = out.states.iter().map(|s| s.rank).collect();
         frogwild::topk::normalize(&mut scores);

@@ -15,17 +15,22 @@ fn twitter_like_graph(n: usize, seed: u64) -> DiGraph {
 fn frogwild_captures_most_topk_mass_at_full_sync() {
     let graph = twitter_like_graph(2_000, 1);
     let truth = exact_pagerank(&graph, 0.15, 200, 1e-12);
-    let cluster = ClusterConfig::new(16, 2);
-    let report = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
-            num_walkers: 200_000,
-            iterations: 4,
-            sync_probability: 1.0,
-            ..FrogWildConfig::default()
-        },
-    );
+    let mut session = Session::builder(&graph)
+        .machines(16)
+        .seed(2)
+        .build()
+        .unwrap();
+    let report = session
+        .query(&Query::TopK {
+            k: 300,
+            config: FrogWildConfig {
+                num_walkers: 200_000,
+                iterations: 4,
+                sync_probability: 1.0,
+                ..FrogWildConfig::default()
+            },
+        })
+        .unwrap();
     for k in [30usize, 100, 300] {
         let m = mass_captured(&report.estimate, &truth.scores, k);
         assert!(
@@ -57,7 +62,8 @@ fn accuracy_degrades_gracefully_as_ps_decreases() {
                 sync_probability: ps,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .unwrap();
         mass_captured(&report.estimate, &truth.scores, k).normalized()
     };
 
@@ -71,7 +77,10 @@ fn accuracy_degrades_gracefully_as_ps_decreases() {
     assert!(acc_04 > 0.8, "ps=0.4 accuracy {acc_04}");
     assert!(acc_01 > 0.6, "ps=0.1 accuracy {acc_01}");
     // graceful degradation: the drop from full sync to ps=0.1 should not be a collapse
-    assert!(acc_full - acc_01 < 0.35, "full {acc_full} vs ps=0.1 {acc_01}");
+    assert!(
+        acc_full - acc_01 < 0.35,
+        "full {acc_full} vs ps=0.1 {acc_01}"
+    );
 }
 
 #[test]
@@ -93,7 +102,8 @@ fn more_walkers_and_more_iterations_improve_accuracy() {
                 sync_probability: 0.7,
                 ..FrogWildConfig::default()
             },
-        );
+        )
+        .unwrap();
         mass_captured(&report.estimate, &truth.scores, k).normalized()
     };
 
@@ -127,16 +137,22 @@ fn measured_loss_stays_within_theorem1_envelope() {
     let walkers = 150_000u64;
     let ps = 0.4;
 
-    let report = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
-            num_walkers: walkers,
-            iterations,
-            sync_probability: ps,
-            ..FrogWildConfig::default()
-        },
-    );
+    let mut session = Session::builder(&graph)
+        .machines(cluster.num_machines)
+        .seed(cluster.seed)
+        .build()
+        .unwrap();
+    let report = session
+        .query(&Query::TopK {
+            k,
+            config: FrogWildConfig {
+                num_walkers: walkers,
+                iterations,
+                sync_probability: ps,
+                ..FrogWildConfig::default()
+            },
+        })
+        .unwrap();
     let m = mass_captured(&report.estimate, &truth.scores, k);
 
     let p_intersect =
@@ -168,8 +184,9 @@ fn frogwild_matches_or_beats_one_iteration_pagerank_on_accuracy() {
             sync_probability: 0.7,
             ..FrogWildConfig::default()
         },
-    );
-    let pr1 = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1));
+    )
+    .unwrap();
+    let pr1 = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(1)).unwrap();
 
     let k = 100;
     let fw_mass = mass_captured(&fw.estimate, &truth.scores, k).normalized();
@@ -190,17 +207,22 @@ fn estimator_matches_serial_monte_carlo_reference() {
     let cluster = ClusterConfig::new(8, 12);
     let mut rng = SmallRng::seed_from_u64(13);
 
-    let engine_est = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
-            num_walkers: 150_000,
-            iterations: 6,
-            sync_probability: 1.0,
-            ..FrogWildConfig::default()
-        },
-    )
-    .estimate;
+    let engine_est = Session::builder(&graph)
+        .machines(cluster.num_machines)
+        .seed(cluster.seed)
+        .build()
+        .unwrap()
+        .query(&Query::TopK {
+            k: 50,
+            config: FrogWildConfig {
+                num_walkers: 150_000,
+                iterations: 6,
+                sync_probability: 1.0,
+                ..FrogWildConfig::default()
+            },
+        })
+        .unwrap()
+        .estimate;
     let serial_est = serial_random_walk_pagerank(&graph, 150_000, 5, 0.15, &mut rng);
 
     let k = 50;

@@ -27,6 +27,7 @@ fn frogwild_network_traffic_scales_down_with_ps() {
                 ..FrogWildConfig::default()
             },
         )
+        .unwrap()
         .cost
         .network_bytes
     };
@@ -35,7 +36,10 @@ fn frogwild_network_traffic_scales_down_with_ps() {
     let b07 = bytes(0.7);
     let b04 = bytes(0.4);
     let b01 = bytes(0.1);
-    assert!(full > b07 && b07 > b04 && b04 > b01, "bytes {full} {b07} {b04} {b01}");
+    assert!(
+        full > b07 && b07 > b04 && b04 > b01,
+        "bytes {full} {b07} {b04} {b01}"
+    );
     // ps = 0.1 should save at least half of the traffic relative to full sync.
     assert!(
         (b01 as f64) < 0.5 * full as f64,
@@ -58,7 +62,8 @@ fn frogwild_uses_far_less_network_and_time_than_exact_pagerank() {
             sync_probability: 0.4,
             ..FrogWildConfig::default()
         },
-    );
+    )
+    .unwrap();
     let pr_exact = frogwild::driver::run_graphlab_pr_on(
         &pg,
         &PageRankConfig {
@@ -66,8 +71,9 @@ fn frogwild_uses_far_less_network_and_time_than_exact_pagerank() {
             tolerance: 1e-9,
             ..PageRankConfig::default()
         },
-    );
-    let pr_two = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2));
+    )
+    .unwrap();
+    let pr_two = frogwild::driver::run_graphlab_pr_on(&pg, &PageRankConfig::truncated(2)).unwrap();
 
     assert!(fw.cost.network_bytes * 5 < pr_exact.cost.network_bytes);
     assert!(fw.cost.network_bytes < pr_two.cost.network_bytes);
@@ -96,6 +102,7 @@ fn network_traffic_scales_with_number_of_walkers() {
                 ..FrogWildConfig::default()
             },
         )
+        .unwrap()
         .cost
         .network_bytes as f64
     };
@@ -113,15 +120,15 @@ fn network_traffic_scales_with_number_of_walkers() {
 fn per_machine_network_is_reported_and_consistent() {
     let graph = test_graph(1_500, 7);
     let cluster = ClusterConfig::new(12, 8);
-    let report = run_frogwild(
-        &graph,
-        &cluster,
+    let report = frogwild::driver::run_frogwild_on(
+        &frogwild::driver::partition_graph(&graph, &cluster),
         &FrogWildConfig {
             num_walkers: 50_000,
             iterations: 4,
             ..FrogWildConfig::default()
         },
-    );
+    )
+    .unwrap();
     let per_machine_total: u64 = report
         .metrics
         .supersteps
@@ -137,18 +144,30 @@ fn per_machine_network_is_reported_and_consistent() {
 fn single_machine_cluster_sends_nothing() {
     let graph = test_graph(800, 9);
     let cluster = ClusterConfig::new(1, 10);
-    let fw = run_frogwild(
-        &graph,
-        &cluster,
-        &FrogWildConfig {
-            num_walkers: 20_000,
-            iterations: 4,
-            ..FrogWildConfig::default()
-        },
-    );
+    let mut session = Session::builder(&graph)
+        .machines(cluster.num_machines)
+        .seed(cluster.seed)
+        .build()
+        .unwrap();
+    let fw = session
+        .query(&Query::TopK {
+            k: 10,
+            config: FrogWildConfig {
+                num_walkers: 20_000,
+                iterations: 4,
+                ..FrogWildConfig::default()
+            },
+        })
+        .unwrap();
     assert_eq!(fw.cost.network_bytes, 0);
-    let pr = run_graphlab_pr(&graph, &cluster, &PageRankConfig::truncated(2));
+    let pr = session
+        .query(&Query::Pagerank {
+            k: 10,
+            config: PageRankConfig::truncated(2),
+        })
+        .unwrap();
     assert_eq!(pr.cost.network_bytes, 0);
+    assert_eq!(session.stats().total_network_bytes, 0);
 }
 
 #[test]
@@ -166,6 +185,7 @@ fn skipped_synchronizations_grow_as_ps_drops() {
                 ..FrogWildConfig::default()
             },
         )
+        .unwrap()
         .cost
         .skipped_syncs
     };
@@ -182,8 +202,17 @@ fn more_machines_means_more_replication_and_traffic_for_pagerank() {
     // to synchronize); this is the scaling pressure FrogWild sidesteps.
     let graph = test_graph(2_000, 13);
     let bytes = |machines: usize| {
-        let cluster = ClusterConfig::new(machines, 14);
-        run_graphlab_pr(&graph, &cluster, &PageRankConfig::truncated(2))
+        let mut session = Session::builder(&graph)
+            .machines(machines)
+            .seed(14)
+            .build()
+            .unwrap();
+        session
+            .query(&Query::Pagerank {
+                k: 10,
+                config: PageRankConfig::truncated(2),
+            })
+            .unwrap()
             .cost
             .network_bytes
     };

@@ -61,7 +61,7 @@ fn pagerank_result_is_independent_of_the_partitioner() {
     let mut estimates = Vec::new();
     for (name, partitioner) in all_partitioners() {
         let pg = PartitionedGraph::build(&graph, 12, partitioner.as_ref(), 9);
-        let report = frogwild::driver::run_graphlab_pr_on(&pg, &config);
+        let report = frogwild::driver::run_graphlab_pr_on(&pg, &config).unwrap();
         let mass = mass_captured(&report.estimate, &truth.scores, 50).normalized();
         assert!(mass > 0.99, "{name}: mass {mass}");
         estimates.push((name, report.estimate));
@@ -69,7 +69,10 @@ fn pagerank_result_is_independent_of_the_partitioner() {
     let (_, reference) = &estimates[0];
     for (name, estimate) in &estimates[1..] {
         let diff = frogwild::metrics::l1_distance(reference, estimate);
-        assert!(diff < 1e-6, "{name}: l1 distance to reference layout {diff}");
+        assert!(
+            diff < 1e-6,
+            "{name}: l1 distance to reference layout {diff}"
+        );
     }
 }
 
@@ -88,15 +91,23 @@ fn frogwild_accuracy_holds_across_partitioners_and_costs_track_replication() {
     let mut by_name = Vec::new();
     for (name, partitioner) in all_partitioners() {
         let pg = PartitionedGraph::build(&graph, 16, partitioner.as_ref(), 21);
-        let report = frogwild::driver::run_frogwild_on(&pg, &config);
+        let report = frogwild::driver::run_frogwild_on(&pg, &config).unwrap();
         let mass = mass_captured(&report.estimate, &truth.scores, k).normalized();
         // High-replication layouts (random, hybrid sources) lose more accuracy under
         // partial synchronization because the even-split scatter divides walkers across
         // more replicas with fewer local edges each — the same correlation effect
         // Theorem 1 charges to (1 - p_s²). Low-replication ingress stays near the top.
-        let floor = if name == "oblivious" || name == "hdrf" { 0.8 } else { 0.6 };
+        let floor = if name == "oblivious" || name == "hdrf" {
+            0.8
+        } else {
+            0.6
+        };
         assert!(mass > floor, "{name}: mass {mass}");
-        by_name.push((name, pg.placement().replication_factor(), report.cost.network_bytes));
+        by_name.push((
+            name,
+            pg.placement().replication_factor(),
+            report.cost.network_bytes,
+        ));
     }
 
     // Replication factor and synchronization traffic move together: the partitioner
@@ -126,14 +137,15 @@ fn partial_sync_saves_traffic_under_every_partitioner() {
             iterations: 4,
             ..FrogWildConfig::default()
         };
-        let full = frogwild::driver::run_frogwild_on(&pg, &base);
+        let full = frogwild::driver::run_frogwild_on(&pg, &base).unwrap();
         let partial = frogwild::driver::run_frogwild_on(
             &pg,
             &FrogWildConfig {
                 sync_probability: 0.1,
                 ..base
             },
-        );
+        )
+        .unwrap();
         assert!(
             partial.cost.network_bytes < full.cost.network_bytes,
             "{name}: ps=0.1 {} bytes vs ps=1 {} bytes",

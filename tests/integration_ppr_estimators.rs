@@ -29,16 +29,22 @@ fn every_estimator_in_the_family_identifies_the_same_heavy_vertices() {
     let endpoint = serial_random_walk_pagerank(&graph, walkers, 6, 0.15, &mut rng);
     let complete = complete_path_pagerank(&graph, walkers, 6, 0.15, &mut rng);
     let per_vertex = walkers_per_vertex_pagerank(&graph, 2, 6, 0.15, &mut rng);
-    let engine = run_frogwild(
-        &graph,
-        &ClusterConfig::new(12, 3),
-        &FrogWildConfig {
-            num_walkers: walkers,
-            iterations: 6,
-            sync_probability: 0.7,
-            ..FrogWildConfig::default()
-        },
-    );
+    let mut session = Session::builder(&graph)
+        .machines(12)
+        .seed(3)
+        .build()
+        .unwrap();
+    let engine = session
+        .query(&Query::TopK {
+            k,
+            config: FrogWildConfig {
+                num_walkers: walkers,
+                iterations: 6,
+                sync_probability: 0.7,
+                ..FrogWildConfig::default()
+            },
+        })
+        .unwrap();
 
     for (name, estimate) in [
         ("endpoint", &endpoint),
@@ -97,12 +103,16 @@ fn forward_push_and_exact_ppr_agree_on_topk_across_sources() {
     let n = graph.num_vertices();
     for source in [0u32, 17, 255, 999] {
         let source = source % n as u32;
-        let exact = personalized_pagerank(&graph, &single_source_restart(n, source), 0.15, 200, 1e-10);
+        let exact =
+            personalized_pagerank(&graph, &single_source_restart(n, source), 0.15, 200, 1e-10);
         let push = forward_push_ppr(&graph, source, 0.15, 1e-7);
         let mass = mass_captured(&push.estimate, &exact.scores, 20).normalized();
         assert!(mass > 0.9, "source {source}: captured {mass}");
         let precision = precision_at_k_curve(&push.estimate, &exact.scores, &[1, 5, 10]);
-        assert!(precision[0] > 0.99, "source {source}: top-1 missed ({precision:?})");
+        assert!(
+            precision[0] > 0.99,
+            "source {source}: top-1 missed ({precision:?})"
+        );
     }
 }
 
@@ -132,7 +142,10 @@ fn planned_walker_budget_achieves_the_planned_accuracy() {
     // vertex's mass, so the head of the ranking is resolvable.
     let eps = hoeffding_epsilon(budget, graph.num_vertices(), 0.1);
     let top_value = truth.scores[top_k(&truth.scores, 1)[0] as usize];
-    assert!(eps < top_value, "hoeffding eps {eps} vs top mass {top_value}");
+    assert!(
+        eps < top_value,
+        "hoeffding eps {eps} vs top mass {top_value}"
+    );
 }
 
 #[test]
@@ -152,7 +165,8 @@ fn rank_metrics_track_the_papers_metrics_on_engine_output() {
             iterations: 4,
             ..FrogWildConfig::default()
         },
-    );
+    )
+    .unwrap();
     let large = frogwild::driver::run_frogwild_on(
         &pg,
         &FrogWildConfig {
@@ -160,7 +174,8 @@ fn rank_metrics_track_the_papers_metrics_on_engine_output() {
             iterations: 4,
             ..FrogWildConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     let mass_small = mass_captured(&small.estimate, &truth.scores, k).normalized();
     let mass_large = mass_captured(&large.estimate, &truth.scores, k).normalized();
@@ -168,8 +183,14 @@ fn rank_metrics_track_the_papers_metrics_on_engine_output() {
     let ndcg_large = ndcg_at_k(&large.estimate, &truth.scores, k);
     let tau_large = kendall_tau_top_k(&large.estimate, &truth.scores, k);
 
-    assert!(mass_large >= mass_small - 0.02, "{mass_large} vs {mass_small}");
-    assert!(ndcg_large >= ndcg_small - 0.02, "{ndcg_large} vs {ndcg_small}");
+    assert!(
+        mass_large >= mass_small - 0.02,
+        "{mass_large} vs {mass_small}"
+    );
+    assert!(
+        ndcg_large >= ndcg_small - 0.02,
+        "{ndcg_large} vs {ndcg_small}"
+    );
     assert!(tau_large > 0.3, "large-budget tau {tau_large}");
     assert!(mass_large > 0.9, "large-budget mass {mass_large}");
 }

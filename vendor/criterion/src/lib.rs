@@ -207,7 +207,10 @@ where
                 line.push_str(&format!("  thrpt: {:.3} Melem/s", per_sec(n) / 1e6));
             }
             Throughput::Bytes(n) => {
-                line.push_str(&format!("  thrpt: {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                line.push_str(&format!(
+                    "  thrpt: {:.3} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
             }
         }
     }

@@ -236,7 +236,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Strategy for vectors with element strategy `S`; see [`vec`].
+    /// Strategy for vectors with element strategy `S`; see [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
@@ -357,8 +357,8 @@ mod tests {
     #[test]
     fn flat_map_respects_dependent_bounds() {
         let mut rng = crate::__seed_rng("flat_map_test");
-        let strat = (2usize..40)
-            .prop_flat_map(|n| (Just(n), crate::collection::vec(0..n as u32, 1..50)));
+        let strat =
+            (2usize..40).prop_flat_map(|n| (Just(n), crate::collection::vec(0..n as u32, 1..50)));
         for _ in 0..500 {
             let (n, edges) = strat.sample(&mut rng);
             assert!(edges.iter().all(|&e| (e as usize) < n));
