@@ -14,6 +14,7 @@ pub mod fig67;
 pub mod fig8;
 pub mod stragglers;
 pub mod theory_check;
+pub mod walkindex;
 
 use frogwild::driver::RunReport;
 use frogwild::metrics::{exact_identification, mass_captured};

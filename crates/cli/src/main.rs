@@ -3,8 +3,10 @@
 //! The engine-backed subcommands (`topk`, `pagerank`, `autotune`) build a [`Session`] —
 //! the graph is partitioned across the simulated cluster exactly once — and serve their
 //! queries through the typed `Query` → `Response` surface; `ppr` is serial and is
-//! served directly from the raw graph (no partitioning). Errors are `frogwild::Error`
-//! values printed to stderr; nothing panics on a bad configuration.
+//! served directly from the raw graph (no partitioning) unless the `--walk-index-*`
+//! options ask for an index-serving session. `index` builds a walk index standalone
+//! and reports its economics. Errors are `frogwild::Error` values printed to stderr;
+//! nothing panics on a bad configuration.
 //!
 //! ```text
 //! USAGE:
@@ -14,7 +16,8 @@
 //!     topk       estimate the top-k PageRank vertices of a graph with FrogWild
 //!     autotune   self-tuning top-k: pilot run → walker plan → full run
 //!     pagerank   run the GraphLab-style PageRank baseline on the simulated cluster
-//!     ppr        personalized PageRank from a source vertex (forward push / exact)
+//!     ppr        personalized PageRank from a source vertex (push / exact / mc)
+//!     index      build a walk index and report its economics (optionally probe it)
 //!     plan       walker-budget planning for a target top-k accuracy
 //!     stats      print basic structural statistics of an edge-list graph
 //!     generate   write a synthetic Twitter-/LiveJournal-shaped graph as an edge list
@@ -26,6 +29,14 @@
 //!     --machines <n>        simulated cluster size                  [default: 16]
 //!     --partitioner <p>     random|grid|oblivious|hdrf|hybrid       [default: oblivious]
 //!     --seed <n>            random seed                             [default: 42]
+//!
+//! WALK-INDEX OPTIONS (enable with --walk-index on topk/ppr; implicit for index):
+//!     --walk-index                     precompute a walk index at session build
+//!     --walk-index-segments <n>       segments per vertex (R)        [default: 16]
+//!     --walk-index-length <n>         hops per segment (L)           [default: 8]
+//!     --walk-index-epsilon <e>        serve-time push frontier       [default: 1e-4]
+//!     --walk-index-walks <n>          stitched walks per unit residual [default: 3000]
+//!     --walk-index-budget-mb <n>      arena memory budget in MiB     [default: unbounded]
 //!
 //! TOPK OPTIONS:
 //!     --k <n>              how many vertices to report              [default: 100]
@@ -41,9 +52,14 @@
 //!
 //! PPR OPTIONS:
 //!     --source <v>         source vertex id (required)
-//!     --method <m>         push | exact                             [default: push]
+//!     --method <m>         push | exact | mc                        [default: push]
 //!     --epsilon <e>        forward-push threshold                   [default: 1e-7]
+//!     --walkers <n>        mc walk count                            [default: 100000]
+//!     --max-steps <n>      mc walk-length truncation                [default: 64]
 //!     --k <n>              how many vertices to report              [default: 20]
+//!
+//! INDEX OPTIONS (plus the walk-index options above):
+//!     --probe <n>          serve n random PPR queries from the index [default: 0]
 //!
 //! PLAN OPTIONS:
 //!     --k <n>              target top-k size                        [default: 100]
@@ -64,7 +80,7 @@ use frogwild::prelude::*;
 use frogwild_graph::io::{read_edge_list_file, write_edge_list_file, EdgeListOptions};
 use frogwild_graph::stats::{degree_summary, in_degree_tail_exponent, Direction};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -86,6 +102,7 @@ fn main() -> ExitCode {
         "autotune" => cmd_autotune(&args),
         "pagerank" => cmd_pagerank(&args),
         "ppr" => cmd_ppr(&args),
+        "index" => cmd_index(&args),
         "plan" => cmd_plan(&args),
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
@@ -103,17 +120,22 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "frogwild — fast top-k PageRank approximation (FrogWild, VLDB 2015 reproduction)\n\n\
-         usage: frogwild <topk|autotune|pagerank|ppr|plan|stats|generate> [options]\n\
+         usage: frogwild <topk|autotune|pagerank|ppr|index|plan|stats|generate> [options]\n\
          \n\
          Ranking commands build one Session (the graph is partitioned once) and serve\n\
          typed queries against it; repeated queries amortize the partitioning cost.\n\
+         With --walk-index the session also precomputes per-vertex walk segments and\n\
+         serves topk/ppr by stitching them instead of fresh Monte-Carlo walks.\n\
          \n\
          session:  --graph <edge list> | --synthetic twitter|livejournal [--vertices N]\n\
          \u{20}          --machines N --partitioner random|grid|oblivious|hdrf|hybrid --seed N\n\
+         \u{20}          [--walk-index] [--walk-index-segments R] [--walk-index-length L]\n\
+         \u{20}          [--walk-index-epsilon E] [--walk-index-walks N] [--walk-index-budget-mb M]\n\
          topk:     --k N --walkers N --iterations N --ps P [--repeat N] [--parallel]\n\
          autotune: --k N --loss E --delta D --ps P [--pilot-walkers N]\n\
          pagerank: --iterations N | --exact\n\
-         ppr:      --source V [--method push|exact] [--epsilon E] [--k N]\n\
+         ppr:      --source V [--method push|exact|mc] [--epsilon E] [--k N]\n\
+         index:    [--probe N] (walk-index options above; builds and reports the index)\n\
          plan:     --k N --vertices N --mass M --loss E --delta D\n\
          generate: --kind twitter|livejournal --vertices N --out <path>\n\
          \n\
@@ -155,8 +177,64 @@ fn load_graph(args: &Args) -> Result<DiGraph> {
     Ok(graph)
 }
 
-/// Builds the session shared by all ranking subcommands.
-fn session_over<'g>(args: &Args, graph: &'g DiGraph) -> Result<Session<'g>> {
+/// The `--walk-index-*` options parsed into a config (defaults where absent).
+fn walk_index_values(args: &Args) -> Result<WalkIndexConfig> {
+    let base = WalkIndexConfig::default();
+    // An explicit `--walk-index-budget-mb 0` must reach the library validator (which
+    // rejects a zero budget) instead of silently meaning "unbounded"; only an absent
+    // option keeps the default.
+    let memory_budget_bytes = match args.get("walk-index-budget-mb") {
+        None => base.memory_budget_bytes,
+        Some(_) => args.get_parsed::<usize>("walk-index-budget-mb", 0, "an integer")? * 1024 * 1024,
+    };
+    Ok(WalkIndexConfig {
+        segments_per_vertex: args.get_parsed(
+            "walk-index-segments",
+            base.segments_per_vertex,
+            "an integer",
+        )?,
+        segment_length: args.get_parsed("walk-index-length", base.segment_length, "an integer")?,
+        frontier_epsilon: args.get_parsed(
+            "walk-index-epsilon",
+            base.frontier_epsilon,
+            "a positive number",
+        )?,
+        walks_per_unit_residual: args.get_parsed(
+            "walk-index-walks",
+            base.walks_per_unit_residual,
+            "an integer",
+        )?,
+        memory_budget_bytes,
+        seed: args.get_parsed("seed", 42, "an integer")?,
+        parallel: args.has_flag("parallel"),
+        ..base
+    })
+}
+
+/// `Some(config)` when the command line opts into a walk index — via the bare
+/// `--walk-index` switch or any `--walk-index-*` value.
+fn walk_index_config(args: &Args) -> Result<Option<WalkIndexConfig>> {
+    let wants = args.has_flag("walk-index")
+        || [
+            "walk-index-segments",
+            "walk-index-length",
+            "walk-index-epsilon",
+            "walk-index-walks",
+            "walk-index-budget-mb",
+        ]
+        .iter()
+        .any(|name| args.get(name).is_some());
+    if !wants {
+        return Ok(None);
+    }
+    walk_index_values(args).map(Some)
+}
+
+/// Builds the session shared by all ranking subcommands. `allow_index` is set by the
+/// subcommands whose queries can actually be served from a walk index (topk, ppr);
+/// the engine-only subcommands skip the build and say so, instead of silently paying
+/// for an index their queries always bypass.
+fn session_over<'g>(args: &Args, graph: &'g DiGraph, allow_index: bool) -> Result<Session<'g>> {
     let machines: usize = args.get_parsed("machines", 16, "an integer")?;
     let seed: u64 = args.get_parsed("seed", 42, "an integer")?;
     let partitioner: PartitionerKind = args.get_parsed(
@@ -164,11 +242,18 @@ fn session_over<'g>(args: &Args, graph: &'g DiGraph) -> Result<Session<'g>> {
         PartitionerKind::default(),
         "a partitioner name",
     )?;
-    let session = Session::builder(graph)
+    let mut builder = Session::builder(graph)
         .machines(machines)
         .partitioner(partitioner)
-        .seed(seed)
-        .build()?;
+        .seed(seed);
+    if let Some(config) = walk_index_config(args)? {
+        if allow_index {
+            builder = builder.walk_index(config);
+        } else {
+            eprintln!("note: --walk-index is ignored here (this query always runs on the engine)");
+        }
+    }
+    let session = builder.build()?;
     eprintln!(
         "session: {} machines, {} partitioner, replication factor {:.2}, partitioned in {:.3}s",
         session.num_machines(),
@@ -176,6 +261,16 @@ fn session_over<'g>(args: &Args, graph: &'g DiGraph) -> Result<Session<'g>> {
         session.replication_factor(),
         session.stats().partition_seconds,
     );
+    if let Some(report) = session.walk_index_report() {
+        eprintln!(
+            "walk index: {}x{}-hop segments/vertex, {} bytes, built in {:.3}s on {} machines",
+            report.effective_segments,
+            report.segment_length,
+            report.arena_bytes,
+            report.build_seconds,
+            report.machines,
+        );
+    }
     Ok(session)
 }
 
@@ -227,7 +322,7 @@ fn cmd_topk(args: &Args) -> Result<()> {
     }
 
     let graph = load_graph(args)?;
-    let mut session = session_over(args, &graph)?;
+    let mut session = session_over(args, &graph, true)?;
     let mut last = None;
     for _ in 0..repeat {
         last = Some(session.query(&Query::TopK { k, config })?);
@@ -241,7 +336,7 @@ fn cmd_topk(args: &Args) -> Result<()> {
 
 fn cmd_pagerank(args: &Args) -> Result<()> {
     let graph = load_graph(args)?;
-    let mut session = session_over(args, &graph)?;
+    let mut session = session_over(args, &graph, false)?;
     let config = if args.has_flag("exact") {
         PageRankConfig::exact()
     } else {
@@ -271,7 +366,7 @@ fn cmd_autotune(args: &Args) -> Result<()> {
     config.validate()?;
 
     let graph = load_graph(args)?;
-    let mut session = session_over(args, &graph)?;
+    let mut session = session_over(args, &graph, false)?;
     let response = session.query(&Query::AutotunedTopK { config })?;
     if let ResponseDetail::AutotunedTopK {
         estimated_topk_mass,
@@ -307,10 +402,15 @@ fn cmd_ppr(args: &Args) -> Result<()> {
             max_iterations: 200,
             tolerance: 1e-10,
         },
+        "mc" => PprMethod::MonteCarlo {
+            walkers: args.get_parsed("walkers", 100_000u64, "an integer")?,
+            max_steps: args.get_parsed("max-steps", 64usize, "an integer")?,
+            seed: args.get_parsed("seed", 42, "an integer")?,
+        },
         other => {
             return Err(Error::config(
                 "command line",
-                format!("unknown ppr method {other:?} (expected push or exact)"),
+                format!("unknown ppr method {other:?} (expected push, exact or mc)"),
             ))
         }
     };
@@ -325,27 +425,87 @@ fn cmd_ppr(args: &Args) -> Result<()> {
         )));
     }
 
-    // PPR runs serially on the raw graph and never touches a partitioned layout, so a
-    // one-shot CLI query skips the session (and its O(|E|) partitioning) entirely.
-    // Library users serving PPR alongside engine queries use `Query::Ppr` on a session.
-    let response = frogwild::session::serve_ppr(&graph, source as VertexId, k, 0.15, method)?;
+    // Without an index, PPR runs serially on the raw graph and never touches a
+    // partitioned layout, so a one-shot CLI query skips the session (and its O(|E|)
+    // partitioning) entirely. With `--walk-index-*` options a session is built so the
+    // query is served by stitching precomputed segments — except for the exact method,
+    // which always bypasses the index and must not pay for building one.
+    let wants_index =
+        walk_index_config(args)?.is_some() && !matches!(method, PprMethod::PowerIteration { .. });
+    let response = if wants_index {
+        let mut session = session_over(args, &graph, true)?;
+        let response = session.query(&Query::Ppr {
+            source: source as VertexId,
+            k,
+            teleport_probability: 0.15,
+            method,
+        })?;
+        print_session_stats(&session);
+        response
+    } else {
+        frogwild::session::serve_ppr(&graph, source as VertexId, k, 0.15, method)?
+    };
     if let ResponseDetail::Ppr {
         pushes,
         iterations,
         residual,
     } = response.detail
     {
-        match method {
-            PprMethod::ForwardPush { .. } => {
-                eprintln!("forward push: {pushes} pushes, residual mass {residual:.6}")
-            }
-            PprMethod::PowerIteration { .. } => {
-                eprintln!("power iteration: {iterations} iterations, residual {residual:.3e}")
-            }
-        }
+        eprintln!("ppr: {pushes} pushes, {iterations} power iterations, residual {residual:.3e}");
+    }
+    if response.cost.index_served {
+        eprintln!(
+            "walk index served it: {} hops covered via {} cached segments, only {} hops sampled fresh on segment exhaustion",
+            response.cost.walk_hops,
+            response.cost.index_hits,
+            response.cost.index_misses,
+        );
     }
     println!("# {}", response.algorithm);
     print_ranking(&response, "ppr");
+    Ok(())
+}
+
+fn cmd_index(args: &Args) -> Result<()> {
+    let graph = load_graph(args)?;
+    let machines: usize = args.get_parsed("machines", 16, "an integer")?;
+    let config = walk_index_values(args)?;
+    let (index, report) =
+        frogwild::walkindex::build_walk_index_standalone(&graph, machines, &config)?;
+    println!("quantity,value");
+    println!("vertices,{}", index.num_vertices());
+    println!("requested_segments,{}", report.requested_segments);
+    println!("effective_segments,{}", report.effective_segments);
+    println!("segment_length,{}", report.segment_length);
+    println!("machines,{}", report.machines);
+    println!("arena_bytes,{}", report.arena_bytes);
+    println!("total_hops,{}", report.total_hops);
+    println!("truncated_segments,{}", report.truncated_segments);
+    println!("build_seconds,{:.6}", report.build_seconds);
+
+    let probes: usize = args.get_parsed("probe", 0usize, "an integer")?;
+    if probes > 0 {
+        let seed: u64 = args.get_parsed("seed", 42, "an integer")?;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1DE7_0B5E);
+        let started = std::time::Instant::now();
+        let mut totals = frogwild::walkindex::IndexServeStats::default();
+        for _ in 0..probes {
+            let source = rng.gen_range(0..graph.num_vertices()) as VertexId;
+            let served = frogwild::walkindex::indexed_ppr(&graph, &index, &config, source, 0.15)?;
+            totals.segment_hits += served.stats.segment_hits;
+            totals.segment_misses += served.stats.segment_misses;
+        }
+        let serve_seconds = started.elapsed().as_secs_f64();
+        println!("probe_queries,{probes}");
+        println!("probe_seconds,{serve_seconds:.6}");
+        println!("probe_segment_hits,{}", totals.segment_hits);
+        println!("probe_segment_misses,{}", totals.segment_misses);
+        println!("probe_hit_rate,{:.4}", totals.hit_rate());
+        println!(
+            "amortized_build_seconds,{:.6}",
+            report.build_seconds / probes as f64
+        );
+    }
     Ok(())
 }
 

@@ -13,17 +13,16 @@
 //! The [`AutoTuneReport`] keeps the pilot, the plan and the final run together so the
 //! caller can audit what the tuner decided and how much the pilot cost.
 
-use frogwild_engine::{ClusterConfig, PartitionedGraph};
-use frogwild_graph::DiGraph;
+use frogwild_engine::PartitionedGraph;
 use serde::{Deserialize, Serialize};
 
 use crate::confidence::{plan_walkers, WalkerPlan};
 use crate::config::{in_half_open_unit_interval, in_open_unit_interval, FrogWildConfig};
-use crate::driver::{partition_graph, run_frogwild_on, RunReport};
+use crate::driver::{run_frogwild_on, RunReport};
 use crate::error::Error;
 use crate::theory::recommended_iterations;
 
-/// Tuning knobs for [`auto_topk`]. The defaults are deliberately conservative; every
+/// Tuning knobs for [`auto_topk_on`]. The defaults are deliberately conservative; every
 /// field can be overridden with struct-update syntax.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AutoTuneConfig {
@@ -138,30 +137,6 @@ impl AutoTuneReport {
     }
 }
 
-/// Runs the pilot → plan → run pipeline on a freshly partitioned cluster.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid. Prefer
-/// [`Session`](crate::session::Session) with
-/// [`Query::AutotunedTopK`](crate::session::Query::AutotunedTopK), which returns a
-/// typed error instead and reuses the partitioned layout across queries.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `frogwild::session::Session` and issue `Query::AutotunedTopK`, or call `auto_topk_on` with an explicit partitioned graph"
-)]
-pub fn auto_topk(
-    graph: &DiGraph,
-    cluster: &ClusterConfig,
-    config: &AutoTuneConfig,
-) -> AutoTuneReport {
-    let pg = partition_graph(graph, cluster);
-    match auto_topk_on(&pg, config) {
-        Ok(report) => report,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 /// Runs the pilot → plan → run pipeline on an already partitioned graph.
 ///
 /// # Errors
@@ -232,10 +207,12 @@ pub fn auto_topk_on(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::partition_graph;
     use crate::metrics::mass_captured;
     use crate::reference::exact_pagerank;
     use frogwild_engine::ClusterConfig;
     use frogwild_graph::generators::{rmat, RmatParams};
+    use frogwild_graph::DiGraph;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

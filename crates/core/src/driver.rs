@@ -10,9 +10,10 @@
 //! panicking. Applications that serve a *query stream* should use
 //! [`Session`](crate::session::Session) instead, which owns the partitioned layout,
 //! answers [`Query`](crate::session::Query) values, and tracks cumulative amortized
-//! cost. The one-shot free functions ([`run_frogwild`], [`run_graphlab_pr`],
-//! [`run_sparsified_pr`]) re-partition the graph on every call and are deprecated in
-//! favour of the session API.
+//! cost. (The 0.1-era one-shot `run_frogwild` / `run_graphlab_pr` free functions that
+//! re-partitioned per call were deprecated in 0.2 and have been removed;
+//! [`run_sparsified_pr`] remains one-shot because sparsification changes the edge set
+//! and therefore genuinely needs its own partitioning.)
 
 use frogwild_engine::{
     ClusterConfig, CostModel, Engine, EngineConfig, InitialActivation, ObliviousPartitioner,
@@ -102,30 +103,6 @@ pub fn partition_graph(graph: &DiGraph, cluster: &ClusterConfig) -> PartitionedG
     )
 }
 
-/// Runs FrogWild on `graph` over a freshly partitioned simulated cluster.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid. Prefer
-/// [`Session`](crate::session::Session) with
-/// [`Query::TopK`](crate::session::Query::TopK), which partitions once, serves many
-/// queries, and returns a typed error instead of panicking.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `frogwild::session::Session` and issue `Query::TopK`, or call `run_frogwild_on` with an explicit partitioned graph"
-)]
-pub fn run_frogwild(
-    graph: &DiGraph,
-    cluster: &ClusterConfig,
-    config: &FrogWildConfig,
-) -> RunReport {
-    let pg = partition_graph(graph, cluster);
-    match run_frogwild_on(&pg, config) {
-        Ok(report) => report,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 /// Runs FrogWild on an already partitioned graph (reuse the layout across sweeps).
 ///
 /// # Errors
@@ -181,30 +158,6 @@ pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> Result
         metrics: output.metrics,
         cost,
     })
-}
-
-/// Runs the baseline GraphLab-style PageRank on `graph` over a freshly partitioned
-/// simulated cluster.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid. Prefer
-/// [`Session`](crate::session::Session) with
-/// [`Query::Pagerank`](crate::session::Query::Pagerank).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `frogwild::session::Session` and issue `Query::Pagerank`, or call `run_graphlab_pr_on` with an explicit partitioned graph"
-)]
-pub fn run_graphlab_pr(
-    graph: &DiGraph,
-    cluster: &ClusterConfig,
-    config: &PageRankConfig,
-) -> RunReport {
-    let pg = partition_graph(graph, cluster);
-    match run_graphlab_pr_on(&pg, config) {
-        Ok(report) => report,
-        Err(e) => panic!("{e}"),
-    }
 }
 
 /// Runs the baseline PageRank on an already partitioned graph.

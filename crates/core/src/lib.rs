@@ -82,19 +82,22 @@
 //!   a self-tuning top-k query (served as `Query::AutotunedTopK`).
 //! * [`rank_metrics`] — order-sensitive ranking metrics (Kendall τ, footrule, NDCG)
 //!   complementing the paper's two set-level metrics.
+//! * [`walkindex`] — the precomputed walk-index subsystem: build an arena of per-vertex
+//!   walk segments once (in parallel across the simulated machines), then serve PPR and
+//!   top-k queries by stitching cached segments instead of fresh Monte-Carlo walks.
+//!   Plugged into the session via `SessionBuilder::walk_index`.
 //! * [`driver`] — the low-level experiment drivers underneath the session; they return
-//!   a [`driver::RunReport`] with raw engine metrics for the benchmark harness. The
-//!   one-shot `run_*` free functions that re-partition per call are `#[deprecated]` in
-//!   favour of the session API.
+//!   a [`driver::RunReport`] with raw engine metrics for the benchmark harness.
 //! * [`report`] — tiny CSV/markdown writers for the figure harness.
 //!
 //! ## Migrating from the 0.1 free functions
 //!
-//! `run_frogwild(&graph, &cluster, &config)` partitioned the graph on every call and
-//! panicked on invalid configurations. Replace it with a session:
+//! The 0.1-era one-shot functions (`run_frogwild`, `run_graphlab_pr`, `auto_topk`)
+//! partitioned the graph on every call and panicked on invalid configurations. They
+//! were deprecated in 0.2 and are now removed. Replace them with a session:
 //!
 //! ```text
-//! // before (deprecated):
+//! // before (removed):
 //! let report = run_frogwild(&graph, &ClusterConfig::new(8, 42), &config);
 //! // after:
 //! let mut session = Session::builder(&graph).machines(8).seed(42).build()?;
@@ -104,7 +107,8 @@
 //! `run_graphlab_pr` maps to `Query::Pagerank`, `auto_topk` to `Query::AutotunedTopK`,
 //! and the `frogwild::ppr` helpers are served as `Query::Ppr`. For parameter sweeps
 //! that need raw [`driver::RunReport`] metrics, the fallible `driver::*_on` functions
-//! remain the supported low-level layer.
+//! (over an explicit [`driver::partition_graph`] layout) remain the supported
+//! low-level layer.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -127,6 +131,7 @@ pub mod session;
 pub mod sparsify;
 pub mod theory;
 pub mod topk;
+pub mod walkindex;
 
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
@@ -147,6 +152,7 @@ pub mod prelude {
     };
     pub use crate::theory::{intersection_probability_bound, theorem1_epsilon};
     pub use crate::topk::top_k;
+    pub use crate::walkindex::{WalkIndex, WalkIndexBuildReport, WalkIndexConfig};
     pub use frogwild_engine::{ClusterConfig, PartitionerKind, SyncPolicy};
     pub use frogwild_graph::{DiGraph, GraphBuilder, VertexId};
 }
@@ -158,6 +164,5 @@ pub use reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult}
 pub use session::{Query, Response, Session};
 pub use topk::top_k;
 
-#[allow(deprecated)]
-pub use driver::{run_frogwild, run_graphlab_pr};
 pub use driver::{run_sparsified_pr, RunReport};
+pub use walkindex::{WalkIndex, WalkIndexConfig};

@@ -220,6 +220,28 @@ pub fn monte_carlo_ppr<R: Rng + ?Sized>(
     teleport_probability: f64,
     rng: &mut R,
 ) -> Vec<f64> {
+    monte_carlo_ppr_counted(
+        graph,
+        source,
+        num_walkers,
+        max_steps,
+        teleport_probability,
+        rng,
+    )
+    .0
+}
+
+/// [`monte_carlo_ppr`] that also reports the total hops walked — the per-hop sampling
+/// work the estimator actually performed, used by the query service's cost accounting
+/// (and the number the walk-index subsystem exists to avoid re-paying).
+pub fn monte_carlo_ppr_counted<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    source: VertexId,
+    num_walkers: u64,
+    max_steps: usize,
+    teleport_probability: f64,
+    rng: &mut R,
+) -> (Vec<f64>, u64) {
     assert!(
         teleport_probability > 0.0 && teleport_probability <= 1.0,
         "teleport probability must be in (0, 1]"
@@ -228,11 +250,13 @@ pub fn monte_carlo_ppr<R: Rng + ?Sized>(
     assert!((source as usize) < n, "source vertex {source} out of range");
     let mut counts = vec![0u64; n];
     if num_walkers == 0 {
-        return vec![0.0; n];
+        return (vec![0.0; n], 0);
     }
+    let mut hops = 0u64;
     for _ in 0..num_walkers {
         let mut position = source;
         let lifespan = dist::geometric(teleport_probability, rng).min(max_steps as u64);
+        hops += lifespan;
         for _ in 0..lifespan {
             let neighbors = graph.out_neighbors(position);
             if neighbors.is_empty() {
@@ -243,10 +267,11 @@ pub fn monte_carlo_ppr<R: Rng + ?Sized>(
         }
         counts[position as usize] += 1;
     }
-    counts
+    let estimate = counts
         .into_iter()
         .map(|c| c as f64 / num_walkers as f64)
-        .collect()
+        .collect();
+    (estimate, hops)
 }
 
 /// Convenience: the indicator restart vector for a single source vertex.

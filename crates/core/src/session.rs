@@ -13,6 +13,12 @@
 //! 3. read the cumulative, amortized economics of the stream from
 //!    [`Session::stats`].
 //!
+//! A session can additionally precompute a [walk index](crate::walkindex) via
+//! [`SessionBuilder::walk_index`]: [`Query::Ppr`] and [`Query::TopK`] are then served
+//! by stitching cached walk segments instead of fresh Monte-Carlo sampling, with the
+//! segment hit/miss economics reported per query in [`QueryCost`] and cumulatively in
+//! [`SessionStats`].
+//!
 //! All validation happens at `build()` / `query()` time and surfaces as a typed
 //! [`Error`] — no panics on configuration paths.
 //!
@@ -53,18 +59,25 @@ use crate::autotune::{auto_topk_on, AutoTuneConfig};
 use crate::config::{in_open_unit_interval, FrogWildConfig, PageRankConfig};
 use crate::driver::{run_frogwild_on, run_graphlab_pr_on, RunReport};
 use crate::error::{Error, Result};
-use crate::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
+use crate::ppr::{
+    forward_push_ppr, monte_carlo_ppr_counted, personalized_pagerank, single_source_restart,
+};
+use crate::walkindex::{
+    build_walk_index, indexed_pagerank, indexed_ppr, IndexServeStats, WalkIndex,
+    WalkIndexBuildReport, WalkIndexConfig,
+};
 
 /// Builder for a [`Session`]. Obtain one via [`Session::builder`].
 ///
 /// Defaults: 16 machines (the cluster size of the paper's accuracy figures), the
-/// oblivious (PowerGraph-default) partitioner, and a fixed seed.
+/// oblivious (PowerGraph-default) partitioner, a fixed seed, and no walk index.
 #[derive(Clone, Copy, Debug)]
 pub struct SessionBuilder<'g> {
     graph: &'g DiGraph,
     machines: usize,
     partitioner: PartitionerKind,
     seed: u64,
+    walk_index: Option<WalkIndexConfig>,
 }
 
 impl<'g> SessionBuilder<'g> {
@@ -83,6 +96,22 @@ impl<'g> SessionBuilder<'g> {
     /// Seed for partitioning (query-level randomness is seeded per query config).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Precompute a [`WalkIndex`] at [`build`](SessionBuilder::build) time and serve
+    /// [`Query::Ppr`] and [`Query::TopK`] from it.
+    ///
+    /// The build cost (segment generation, split across the simulated machines) is
+    /// paid once and reported as [`SessionStats::index_build_seconds`]; every
+    /// index-served query then replaces fresh per-hop Monte-Carlo sampling with O(1)
+    /// cached-segment stitching, and its [`QueryCost`] reports the segment hit/miss
+    /// economics. A [`PprMethod::ForwardPush`] query keeps its own `epsilon` as the
+    /// localization threshold (the index only adds walks for the residual mass).
+    /// [`Query::Pagerank`] (the GraphLab baseline) and
+    /// [`PprMethod::PowerIteration`] (the exact reference) always bypass the index.
+    pub fn walk_index(mut self, config: WalkIndexConfig) -> Self {
+        self.walk_index = Some(config);
         self
     }
 
@@ -119,19 +148,38 @@ impl<'g> SessionBuilder<'g> {
         let pg = PartitionedGraph::build(self.graph, self.machines, &self.partitioner, self.seed);
         let partition_seconds = started.elapsed().as_secs_f64();
         let replication_factor = pg.placement().replication_factor();
+        let index = match self.walk_index {
+            Some(config) => {
+                let (index, report) = build_walk_index(self.graph, &pg, &config)?;
+                Some(SessionIndex {
+                    index,
+                    report,
+                    config,
+                })
+            }
+            None => None,
+        };
+        let index_build_seconds = index.as_ref().map_or(0.0, |si| si.report.build_seconds);
         Ok(Session {
             graph: self.graph,
             pg,
             cluster,
             partitioner: self.partitioner,
+            index,
             stats: SessionStats {
                 queries_served: 0,
                 partition_seconds,
                 replication_factor,
+                index_build_seconds,
+                index_served_queries: 0,
                 total_network_bytes: 0,
                 total_simulated_seconds: 0.0,
                 total_cpu_seconds: 0.0,
                 total_host_seconds: 0.0,
+                total_push_ops: 0,
+                total_walk_hops: 0,
+                total_index_hits: 0,
+                total_index_misses: 0,
             },
         })
     }
@@ -152,6 +200,18 @@ pub enum PprMethod {
         max_iterations: usize,
         /// L1 convergence tolerance.
         tolerance: f64,
+    },
+    /// Fresh Monte-Carlo walks from the source (geometric lifespans, endpoints
+    /// counted) — the estimator a [walk index](crate::walkindex) amortizes. Serving
+    /// this method from a session *with* an index replaces the per-hop sampling with
+    /// cached-segment stitching.
+    MonteCarlo {
+        /// Number of walks released from the source.
+        walkers: u64,
+        /// Truncation of each walk's geometric lifespan.
+        max_steps: usize,
+        /// Seed for the walk randomness (mixed with the source vertex).
+        seed: u64,
     },
 }
 
@@ -211,6 +271,11 @@ impl Query {
 /// — that is the amortization the session exists to provide. `replication_factor` is
 /// the session layout's (reused) factor.
 ///
+/// The work-unit fields make the serving paths comparable: `push_ops` and `walk_hops`
+/// count the local-push and walk-sampling work of serial queries, and the `index_*`
+/// fields report the cached-segment economics when a [walk index](crate::walkindex)
+/// answered the query.
+///
 /// Equality ignores `host_seconds`: host time is wall-clock measurement noise, while
 /// every other field is a deterministic function of the query and the session seed.
 #[derive(Clone, Copy, Debug, Default)]
@@ -221,7 +286,7 @@ pub struct QueryCost {
     pub repartitioned: bool,
     /// Replication factor of the (reused) session layout.
     pub replication_factor: f64,
-    /// Engine supersteps executed (zero for serial PPR queries).
+    /// Engine supersteps executed (zero for serial and index-served queries).
     pub supersteps: usize,
     /// Simulated bytes crossing machine boundaries.
     pub network_bytes: u64,
@@ -231,6 +296,16 @@ pub struct QueryCost {
     pub simulated_seconds: f64,
     /// Simulated CPU seconds summed over machines.
     pub simulated_cpu_seconds: f64,
+    /// Forward-push operations performed (serial PPR and index-served queries).
+    pub push_ops: u64,
+    /// Walk hops covered, freshly sampled or stitched from the index.
+    pub walk_hops: u64,
+    /// Walk segments served straight from the session's walk index.
+    pub index_hits: u64,
+    /// Segment requests the index could not serve (fresh hops were resampled).
+    pub index_misses: u64,
+    /// Whether the session's walk index answered this query.
+    pub index_served: bool,
     /// Real (host) seconds spent answering the query. Excluded from equality.
     pub host_seconds: f64,
 }
@@ -245,6 +320,11 @@ impl PartialEq for QueryCost {
             && self.network_messages == other.network_messages
             && self.simulated_seconds == other.simulated_seconds
             && self.simulated_cpu_seconds == other.simulated_cpu_seconds
+            && self.push_ops == other.push_ops
+            && self.walk_hops == other.walk_hops
+            && self.index_hits == other.index_hits
+            && self.index_misses == other.index_misses
+            && self.index_served == other.index_served
     }
 }
 
@@ -260,6 +340,24 @@ impl QueryCost {
             simulated_seconds: report.cost.simulated_total_seconds,
             simulated_cpu_seconds: report.cost.simulated_cpu_seconds,
             host_seconds,
+            ..QueryCost::default()
+        }
+    }
+
+    fn from_index_serve(
+        stats: &IndexServeStats,
+        replication_factor: f64,
+        started: Instant,
+    ) -> Self {
+        QueryCost {
+            replication_factor,
+            push_ops: stats.pushes as u64,
+            walk_hops: stats.walk_hops,
+            index_hits: stats.segment_hits,
+            index_misses: stats.segment_misses,
+            index_served: true,
+            host_seconds: started.elapsed().as_secs_f64(),
+            ..QueryCost::default()
         }
     }
 }
@@ -334,6 +432,10 @@ pub struct SessionStats {
     pub partition_seconds: f64,
     /// Replication factor of the session's vertex-cut.
     pub replication_factor: f64,
+    /// Host seconds the one-time walk-index build took (zero without an index).
+    pub index_build_seconds: f64,
+    /// Queries the walk index answered.
+    pub index_served_queries: u64,
     /// Total simulated network bytes over all queries.
     pub total_network_bytes: u64,
     /// Total simulated cluster seconds over all queries.
@@ -342,6 +444,14 @@ pub struct SessionStats {
     pub total_cpu_seconds: f64,
     /// Total host seconds spent answering queries (excludes partitioning).
     pub total_host_seconds: f64,
+    /// Total forward-push operations over all queries.
+    pub total_push_ops: u64,
+    /// Total walk hops (fresh or stitched) over all queries.
+    pub total_walk_hops: u64,
+    /// Total walk segments served from the index.
+    pub total_index_hits: u64,
+    /// Total segment requests the index could not serve.
+    pub total_index_misses: u64,
 }
 
 impl SessionStats {
@@ -353,6 +463,35 @@ impl SessionStats {
             self.partition_seconds / self.queries_served as f64
         }
     }
+
+    /// The one-time walk-index build cost spread over the queries the index served —
+    /// the number that shrinks as the index earns its keep.
+    pub fn amortized_index_build_seconds(&self) -> f64 {
+        if self.index_served_queries == 0 {
+            self.index_build_seconds
+        } else {
+            self.index_build_seconds / self.index_served_queries as f64
+        }
+    }
+
+    /// Fraction of all segment requests served from the index (1.0 when no segment
+    /// was ever requested).
+    pub fn index_hit_rate(&self) -> f64 {
+        let total = self.total_index_hits + self.total_index_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.total_index_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The walk index a session optionally carries: arena, build report, serving knobs.
+#[derive(Debug)]
+struct SessionIndex {
+    index: WalkIndex,
+    report: WalkIndexBuildReport,
+    config: WalkIndexConfig,
 }
 
 /// A persistent, queryable PageRank service over one partitioned graph.
@@ -365,6 +504,7 @@ pub struct Session<'g> {
     pg: PartitionedGraph,
     cluster: ClusterConfig,
     partitioner: PartitionerKind,
+    index: Option<SessionIndex>,
     stats: SessionStats,
 }
 
@@ -376,6 +516,7 @@ impl<'g> Session<'g> {
             machines: 16,
             partitioner: PartitionerKind::default(),
             seed: 0x5EED_F20C,
+            walk_index: None,
         }
     }
 
@@ -396,10 +537,20 @@ impl<'g> Session<'g> {
         }
         let started = Instant::now();
         let response = match query {
-            Query::TopK { k, config } => {
-                let report = run_frogwild_on(&self.pg, config)?;
-                self.engine_response(report, *k, ResponseDetail::TopK, started)
-            }
+            Query::TopK { k, config } => match &self.index {
+                Some(si) => {
+                    let served = indexed_pagerank(self.graph, &si.index, config)?;
+                    let algorithm = format!(
+                        "FrogWild walk-index iters={} walkers={}",
+                        config.iterations, config.num_walkers
+                    );
+                    self.indexed_response(algorithm, served, *k, ResponseDetail::TopK, started)
+                }
+                None => {
+                    let report = run_frogwild_on(&self.pg, config)?;
+                    self.engine_response(report, *k, ResponseDetail::TopK, started)
+                }
+            },
             Query::Pagerank { k, config } => {
                 let report = run_graphlab_pr_on(&self.pg, config)?;
                 self.engine_response(report, *k, ResponseDetail::Pagerank, started)
@@ -434,7 +585,37 @@ impl<'g> Session<'g> {
         self.stats.total_simulated_seconds += response.cost.simulated_seconds;
         self.stats.total_cpu_seconds += response.cost.simulated_cpu_seconds;
         self.stats.total_host_seconds += response.cost.host_seconds;
+        self.stats.total_push_ops += response.cost.push_ops;
+        self.stats.total_walk_hops += response.cost.walk_hops;
+        self.stats.total_index_hits += response.cost.index_hits;
+        self.stats.total_index_misses += response.cost.index_misses;
+        if response.cost.index_served {
+            self.stats.index_served_queries += 1;
+        }
         Ok(response)
+    }
+
+    fn indexed_response(
+        &self,
+        algorithm: String,
+        served: crate::walkindex::IndexedEstimate,
+        k: usize,
+        detail: ResponseDetail,
+        started: Instant,
+    ) -> Response {
+        let cost =
+            QueryCost::from_index_serve(&served.stats, self.stats.replication_factor, started);
+        let ranking = crate::topk::top_k(&served.estimate, k)
+            .into_iter()
+            .map(|v| (v, served.estimate[v as usize]))
+            .collect();
+        Response {
+            algorithm,
+            ranking,
+            estimate: served.estimate,
+            cost,
+            detail,
+        }
     }
 
     fn engine_response(
@@ -467,6 +648,37 @@ impl<'g> Session<'g> {
         method: PprMethod,
         started: Instant,
     ) -> Result<Response> {
+        // Monte-Carlo-shaped methods are served from the walk index when the session
+        // has one; the exact power-iteration reference always runs as asked. A
+        // ForwardPush query keeps its own epsilon for the localization phase (the
+        // index only adds stitched walks for the residual the push would have left
+        // unattributed), so its accuracy guarantee tightens rather than changes. The
+        // method's own parameters are validated either way, so a malformed query is
+        // rejected identically with or without an index.
+        if let (Some(si), false) = (
+            &self.index,
+            matches!(method, PprMethod::PowerIteration { .. }),
+        ) {
+            validate_ppr_method(&method)?;
+            let config = match method {
+                PprMethod::ForwardPush { epsilon } => WalkIndexConfig {
+                    frontier_epsilon: epsilon,
+                    ..si.config
+                },
+                _ => si.config,
+            };
+            let served = indexed_ppr(self.graph, &si.index, &config, source, teleport_probability)?;
+            let detail = ResponseDetail::Ppr {
+                pushes: served.stats.pushes,
+                iterations: 0,
+                residual: served.stats.residual_mass,
+            };
+            let algorithm = format!(
+                "PPR walk-index src={source} eps={} walks/residual={}",
+                config.frontier_epsilon, config.walks_per_unit_residual
+            );
+            return Ok(self.indexed_response(algorithm, served, k, detail, started));
+        }
         ppr_response_over(
             self.graph,
             source,
@@ -476,6 +688,16 @@ impl<'g> Session<'g> {
             self.stats.replication_factor,
             started,
         )
+    }
+
+    /// The walk index the session serves from, when one was built.
+    pub fn walk_index(&self) -> Option<&WalkIndex> {
+        self.index.as_ref().map(|si| &si.index)
+    }
+
+    /// The build report of the session's walk index, when one was built.
+    pub fn walk_index_report(&self) -> Option<&WalkIndexBuildReport> {
+        self.index.as_ref().map(|si| &si.report)
     }
 
     /// The graph this session serves.
@@ -558,6 +780,55 @@ pub fn serve_ppr(
     )
 }
 
+/// Validates the parameters of a [`PprMethod`], shared by the serial and the
+/// index-served paths so a malformed query fails identically on both.
+fn validate_ppr_method(method: &PprMethod) -> Result<()> {
+    match *method {
+        PprMethod::ForwardPush { epsilon } => {
+            if !(epsilon > 0.0 && epsilon.is_finite()) {
+                return Err(Error::config(
+                    "PprMethod::ForwardPush",
+                    format!("epsilon must be positive and finite, got {epsilon}"),
+                ));
+            }
+        }
+        PprMethod::PowerIteration {
+            max_iterations,
+            tolerance,
+        } => {
+            if max_iterations == 0 {
+                return Err(Error::config(
+                    "PprMethod::PowerIteration",
+                    "max_iterations must be positive",
+                ));
+            }
+            if !(tolerance >= 0.0 && tolerance.is_finite()) {
+                return Err(Error::config(
+                    "PprMethod::PowerIteration",
+                    format!("tolerance must be non-negative and finite, got {tolerance}"),
+                ));
+            }
+        }
+        PprMethod::MonteCarlo {
+            walkers, max_steps, ..
+        } => {
+            if walkers == 0 {
+                return Err(Error::config(
+                    "PprMethod::MonteCarlo",
+                    "walkers must be positive",
+                ));
+            }
+            if max_steps == 0 {
+                return Err(Error::config(
+                    "PprMethod::MonteCarlo",
+                    "max_steps must be positive",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn ppr_response_over(
     graph: &DiGraph,
     source: VertexId,
@@ -579,14 +850,9 @@ fn ppr_response_over(
             format!("teleport_probability must be in (0, 1), got {teleport_probability}"),
         ));
     }
-    let (algorithm, estimate, detail) = match method {
+    validate_ppr_method(&method)?;
+    let (algorithm, estimate, detail, push_ops, walk_hops) = match method {
         PprMethod::ForwardPush { epsilon } => {
-            if !(epsilon > 0.0 && epsilon.is_finite()) {
-                return Err(Error::config(
-                    "PprMethod::ForwardPush",
-                    format!("epsilon must be positive and finite, got {epsilon}"),
-                ));
-            }
             let push = forward_push_ppr(graph, source, teleport_probability, epsilon);
             let detail = ResponseDetail::Ppr {
                 pushes: push.pushes,
@@ -597,24 +863,14 @@ fn ppr_response_over(
                 format!("PPR forward-push src={source} eps={epsilon}"),
                 push.estimate,
                 detail,
+                push.pushes as u64,
+                0,
             )
         }
         PprMethod::PowerIteration {
             max_iterations,
             tolerance,
         } => {
-            if max_iterations == 0 {
-                return Err(Error::config(
-                    "PprMethod::PowerIteration",
-                    "max_iterations must be positive",
-                ));
-            }
-            if !(tolerance >= 0.0 && tolerance.is_finite()) {
-                return Err(Error::config(
-                    "PprMethod::PowerIteration",
-                    format!("tolerance must be non-negative and finite, got {tolerance}"),
-                ));
-            }
             let restart = single_source_restart(n, source);
             let result = personalized_pagerank(
                 graph,
@@ -632,6 +888,35 @@ fn ppr_response_over(
                 format!("PPR power-iteration src={source}"),
                 result.scores,
                 detail,
+                0,
+                0,
+            )
+        }
+        PprMethod::MonteCarlo {
+            walkers,
+            max_steps,
+            seed,
+        } => {
+            let mut rng = frogwild_engine::rng::derived_rng(&[seed, source as u64, 0x9C_0111]);
+            let (estimate, hops) = monte_carlo_ppr_counted(
+                graph,
+                source,
+                walkers,
+                max_steps,
+                teleport_probability,
+                &mut rng,
+            );
+            let detail = ResponseDetail::Ppr {
+                pushes: 0,
+                iterations: 0,
+                residual: 0.0,
+            };
+            (
+                format!("PPR monte-carlo src={source} walkers={walkers}"),
+                estimate,
+                detail,
+                0,
+                hops,
             )
         }
     };
@@ -644,15 +929,11 @@ fn ppr_response_over(
         ranking,
         estimate,
         cost: QueryCost {
-            partition_seconds: 0.0,
-            repartitioned: false,
             replication_factor,
-            supersteps: 0,
-            network_bytes: 0,
-            network_messages: 0,
-            simulated_seconds: 0.0,
-            simulated_cpu_seconds: 0.0,
+            push_ops,
+            walk_hops,
             host_seconds: started.elapsed().as_secs_f64(),
+            ..QueryCost::default()
         },
         detail,
     })
@@ -877,6 +1158,166 @@ mod tests {
             serve_ppr(&g, g.num_vertices() as VertexId, 5, 0.15, method),
             Err(Error::Query { .. })
         ));
+    }
+
+    #[test]
+    fn walk_index_sessions_serve_ppr_and_topk_from_the_index() {
+        let g = test_graph(400);
+        let cfg = WalkIndexConfig {
+            segments_per_vertex: 8,
+            segment_length: 8,
+            ..WalkIndexConfig::default()
+        };
+        let mut session = Session::builder(&g)
+            .machines(4)
+            .seed(3)
+            .walk_index(cfg)
+            .build()
+            .unwrap();
+        assert!(session.walk_index().is_some());
+        let report = *session.walk_index_report().unwrap();
+        assert_eq!(report.effective_segments, 8);
+        assert_eq!(report.machines, 4);
+        assert!(session.stats().index_build_seconds > 0.0);
+
+        let ppr = session
+            .query(&Query::Ppr {
+                source: 3,
+                k: 10,
+                teleport_probability: 0.15,
+                method: PprMethod::ForwardPush { epsilon: 1e-5 },
+            })
+            .unwrap();
+        assert!(ppr.cost.index_served);
+        assert!(ppr.cost.index_hits > 0);
+        assert!(ppr.cost.push_ops > 0);
+        assert!(ppr.algorithm.contains("walk-index"));
+        assert!((ppr.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+        let topk = session
+            .query(&Query::TopK {
+                k: 10,
+                config: fw_config(),
+            })
+            .unwrap();
+        assert!(topk.cost.index_served);
+        assert!(topk.algorithm.contains("walk-index"));
+        assert_eq!(topk.cost.supersteps, 0);
+        assert_eq!(topk.cost.network_bytes, 0);
+
+        // The exact reference always bypasses the index.
+        let exact = session
+            .query(&Query::Ppr {
+                source: 3,
+                k: 10,
+                teleport_probability: 0.15,
+                method: PprMethod::PowerIteration {
+                    max_iterations: 100,
+                    tolerance: 1e-10,
+                },
+            })
+            .unwrap();
+        assert!(!exact.cost.index_served);
+
+        let stats = session.stats();
+        assert_eq!(stats.queries_served, 3);
+        assert_eq!(stats.index_served_queries, 2);
+        assert!(stats.total_index_hits > 0);
+        assert!(stats.amortized_index_build_seconds() < stats.index_build_seconds);
+        assert!(stats.index_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn walk_index_queries_are_deterministic() {
+        let g = test_graph(300);
+        let mut session = Session::builder(&g)
+            .machines(4)
+            .walk_index(WalkIndexConfig::default())
+            .build()
+            .unwrap();
+        let q = Query::Ppr {
+            source: 5,
+            k: 12,
+            teleport_probability: 0.15,
+            method: PprMethod::ForwardPush { epsilon: 1e-5 },
+        };
+        let first = session.query(&q).unwrap();
+        let second = session.query(&q).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn walk_index_sessions_reject_malformed_methods_like_plain_ones() {
+        let g = test_graph(200);
+        let mut session = Session::builder(&g)
+            .machines(2)
+            .walk_index(WalkIndexConfig::default())
+            .build()
+            .unwrap();
+        // The index would ignore the method parameters, but validation still applies.
+        assert!(matches!(
+            session.query(&Query::Ppr {
+                source: 0,
+                k: 5,
+                teleport_probability: 0.15,
+                method: PprMethod::ForwardPush { epsilon: 0.0 },
+            }),
+            Err(Error::InvalidConfig {
+                context: "PprMethod::ForwardPush",
+                ..
+            })
+        ));
+        assert!(matches!(
+            session.query(&Query::Ppr {
+                source: 0,
+                k: 5,
+                teleport_probability: 0.15,
+                method: PprMethod::MonteCarlo {
+                    walkers: 0,
+                    max_steps: 10,
+                    seed: 1
+                },
+            }),
+            Err(Error::InvalidConfig {
+                context: "PprMethod::MonteCarlo",
+                ..
+            })
+        ));
+        assert_eq!(session.stats().queries_served, 0);
+    }
+
+    #[test]
+    fn builder_surfaces_walk_index_build_errors() {
+        let g = test_graph(200);
+        assert!(matches!(
+            Session::builder(&g)
+                .machines(2)
+                .walk_index(WalkIndexConfig {
+                    memory_budget_bytes: 8,
+                    ..WalkIndexConfig::default()
+                })
+                .build(),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn monte_carlo_method_reports_walk_work() {
+        let g = test_graph(300);
+        let method = PprMethod::MonteCarlo {
+            walkers: 5_000,
+            max_steps: 30,
+            seed: 7,
+        };
+        let response = serve_ppr(&g, 2, 10, 0.15, method).unwrap();
+        assert!((response.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(response.cost.walk_hops > 0);
+        assert!(!response.cost.index_served);
+        assert!(response.algorithm.contains("monte-carlo"));
+        // And the push method reports push work units.
+        let push = serve_ppr(&g, 2, 10, 0.15, PprMethod::ForwardPush { epsilon: 1e-6 }).unwrap();
+        assert!(push.cost.push_ops > 0);
+        assert_eq!(push.cost.walk_hops, 0);
     }
 
     #[test]

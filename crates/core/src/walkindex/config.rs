@@ -1,0 +1,223 @@
+//! Configuration of a precomputed walk index.
+
+use crate::error::Error;
+
+/// Configuration of a [`WalkIndex`](super::WalkIndex) build and of the queries served
+/// from it.
+///
+/// The two structural knobs are `segments_per_vertex` (`R`) and `segment_length` (`L`):
+/// the index stores up to `R` pure random-walk segments of `L` hops from every vertex.
+/// More segments mean lower estimator variance; longer segments mean fewer stitches per
+/// walk. `memory_budget_bytes` caps the arena size by shrinking `R` (never `L`), so one
+/// number bounds the index footprint regardless of graph size.
+///
+/// The two accuracy knobs for serving are `frontier_epsilon` — how far the forward-push
+/// phase localizes a PPR query before walks take over — and `walks_per_unit_residual` —
+/// how many stitched walks are spent per unit of residual mass the push left behind.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WalkIndexConfig {
+    /// Walk segments precomputed per vertex (`R`). Subject to the memory budget: the
+    /// effective count can be lower, see [`WalkIndexConfig::effective_segments`].
+    pub segments_per_vertex: usize,
+    /// Hops per segment (`L`). Segments end early only at dangling vertices.
+    pub segment_length: usize,
+    /// Residual threshold of the forward-push phase of an index-served PPR query.
+    /// Coarser (larger) values shift work from pushes to stitched walks.
+    pub frontier_epsilon: f64,
+    /// Stitched walks spent per unit of residual mass when serving a PPR query; the
+    /// main accuracy/latency dial of index serving.
+    pub walks_per_unit_residual: u64,
+    /// Hard cap on the hop count of any single stitched walk. A walk's undeposited
+    /// geometric tail `(1 - p_T)^cap` lands at the truncation point, so the cap trades
+    /// a small, bounded placement bias (~2% of walk mass at the default, `p_T = 0.15`)
+    /// for proportionally less per-walk work — the same role `max_steps` plays for
+    /// [`monte_carlo_ppr`](crate::ppr::monte_carlo_ppr).
+    pub max_walk_hops: usize,
+    /// Upper bound on the index arena size in bytes (offsets + hop array).
+    /// `usize::MAX` (the default) means unbounded.
+    pub memory_budget_bytes: usize,
+    /// Seed for segment generation and query-time stitching decisions.
+    pub seed: u64,
+    /// Generate segments on one worker thread per simulated machine.
+    pub parallel: bool,
+}
+
+impl Default for WalkIndexConfig {
+    fn default() -> Self {
+        WalkIndexConfig {
+            segments_per_vertex: 16,
+            segment_length: 8,
+            frontier_epsilon: 1e-4,
+            walks_per_unit_residual: 3_000,
+            max_walk_hops: 24,
+            memory_budget_bytes: usize::MAX,
+            seed: 0x1DE7,
+            parallel: false,
+        }
+    }
+}
+
+impl WalkIndexConfig {
+    /// Validates the configuration, returning the first problem found as a typed
+    /// [`Error::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), Error> {
+        const CTX: &str = "WalkIndexConfig";
+        if self.segments_per_vertex == 0 {
+            return Err(Error::config(CTX, "segments_per_vertex must be positive"));
+        }
+        if self.segment_length == 0 {
+            return Err(Error::config(CTX, "segment_length must be positive"));
+        }
+        if !(self.frontier_epsilon > 0.0 && self.frontier_epsilon.is_finite()) {
+            return Err(Error::config(
+                CTX,
+                format!(
+                    "frontier_epsilon must be positive and finite, got {}",
+                    self.frontier_epsilon
+                ),
+            ));
+        }
+        if self.walks_per_unit_residual == 0 {
+            return Err(Error::config(
+                CTX,
+                "walks_per_unit_residual must be positive",
+            ));
+        }
+        if self.max_walk_hops == 0 {
+            return Err(Error::config(CTX, "max_walk_hops must be positive"));
+        }
+        if self.memory_budget_bytes == 0 {
+            return Err(Error::config(CTX, "memory_budget_bytes must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Worst-case arena bytes for `num_vertices` vertices at `segments` segments per
+    /// vertex: the CSR offset table plus a full-length hop array.
+    pub fn estimated_bytes(&self, num_vertices: usize, segments: usize) -> usize {
+        let offsets = (num_vertices * segments + 1) * std::mem::size_of::<usize>();
+        let hops = num_vertices * segments * self.segment_length * std::mem::size_of::<u32>();
+        offsets + hops
+    }
+
+    /// The per-vertex segment count the memory budget allows: the largest
+    /// `r <= segments_per_vertex` whose worst-case arena fits in
+    /// `memory_budget_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when even a single segment per vertex does not fit.
+    pub fn effective_segments(&self, num_vertices: usize) -> Result<usize, Error> {
+        for r in (1..=self.segments_per_vertex).rev() {
+            if self.estimated_bytes(num_vertices, r) <= self.memory_budget_bytes {
+                return Ok(r);
+            }
+        }
+        Err(Error::config(
+            "WalkIndexConfig",
+            format!(
+                "memory budget of {} bytes cannot hold even one length-{} segment for each of \
+                 the {} vertices ({} bytes needed)",
+                self.memory_budget_bytes,
+                self.segment_length,
+                num_vertices,
+                self.estimated_bytes(num_vertices, 1),
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(WalkIndexConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_field() {
+        let base = WalkIndexConfig::default();
+        for bad in [
+            WalkIndexConfig {
+                segments_per_vertex: 0,
+                ..base
+            },
+            WalkIndexConfig {
+                segment_length: 0,
+                ..base
+            },
+            WalkIndexConfig {
+                frontier_epsilon: 0.0,
+                ..base
+            },
+            WalkIndexConfig {
+                frontier_epsilon: f64::INFINITY,
+                ..base
+            },
+            WalkIndexConfig {
+                walks_per_unit_residual: 0,
+                ..base
+            },
+            WalkIndexConfig {
+                max_walk_hops: 0,
+                ..base
+            },
+            WalkIndexConfig {
+                memory_budget_bytes: 0,
+                ..base
+            },
+        ] {
+            assert!(
+                matches!(
+                    bad.validate(),
+                    Err(Error::InvalidConfig {
+                        context: "WalkIndexConfig",
+                        ..
+                    })
+                ),
+                "{bad:?} should fail validation"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_shrinks_the_segment_count() {
+        let cfg = WalkIndexConfig {
+            segments_per_vertex: 8,
+            segment_length: 10,
+            ..WalkIndexConfig::default()
+        };
+        let n = 1_000;
+        // Unbounded: the full count.
+        assert_eq!(cfg.effective_segments(n).unwrap(), 8);
+        // Enough for about half the segments.
+        let half = WalkIndexConfig {
+            memory_budget_bytes: cfg.estimated_bytes(n, 4),
+            ..cfg
+        };
+        assert_eq!(half.effective_segments(n).unwrap(), 4);
+        // Not even one segment fits.
+        let tiny = WalkIndexConfig {
+            memory_budget_bytes: 16,
+            ..cfg
+        };
+        assert!(matches!(
+            tiny.effective_segments(n),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_every_dimension() {
+        let cfg = WalkIndexConfig::default();
+        assert!(cfg.estimated_bytes(100, 2) < cfg.estimated_bytes(200, 2));
+        assert!(cfg.estimated_bytes(100, 2) < cfg.estimated_bytes(100, 4));
+        let longer = WalkIndexConfig {
+            segment_length: cfg.segment_length * 2,
+            ..cfg
+        };
+        assert!(cfg.estimated_bytes(100, 2) < longer.estimated_bytes(100, 2));
+    }
+}

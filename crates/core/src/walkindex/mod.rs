@@ -1,0 +1,56 @@
+//! Precomputed walk-index subsystem: amortize Monte-Carlo cost into an index build.
+//!
+//! FrogWild answers every query with *fresh* random walks, so a query stream re-pays
+//! the full Monte-Carlo cost on every request even though the graph never changes
+//! between requests. The PowerWalk / FAST-PPR line of work shows the fix: precompute a
+//! handful of random-walk *segments* per vertex once, then serve queries by **stitching
+//! cached segments** instead of walking the graph hop by hop. This module is that
+//! subsystem:
+//!
+//! * [`WalkIndexConfig`] — the build/serve knobs: `R` segments of `L` hops per vertex,
+//!   a memory budget that bounds the arena regardless of graph size, and the serving
+//!   accuracy dials (`frontier_epsilon`, `walks_per_unit_residual`).
+//! * [`WalkIndex`] — the immutable flat arena (CSR-style offsets + one contiguous hop
+//!   array). Segments carry no teleportation, so one index serves any teleport
+//!   probability.
+//! * [`build_walk_index`] — the parallel build: each simulated machine of a
+//!   [`PartitionedGraph`](frogwild_engine::PartitionedGraph) generates the segments of
+//!   the vertices it masters (see [`frogwild_engine::walkgen`]), and the batches are
+//!   flattened into the arena. Deterministic for a fixed seed across machine counts,
+//!   partitioners, and threading.
+//! * [`indexed_ppr`] / [`indexed_pagerank`] — PowerWalk-style serving: forward-push to
+//!   a residual frontier, then stitched walks that consume whole cached segments in
+//!   O(1) each, resampling fresh hops only on segment exhaustion.
+//!
+//! The subsystem plugs into the query service via
+//! [`SessionBuilder::walk_index`](crate::session::SessionBuilder::walk_index):
+//! `Query::Ppr` and `Query::TopK` are then served from the index transparently, and
+//! [`QueryCost`](crate::session::QueryCost) / [`SessionStats`](crate::session::SessionStats)
+//! report segment hits/misses and the amortized build cost.
+//!
+//! ```
+//! use frogwild::walkindex::{build_walk_index_standalone, indexed_ppr, WalkIndexConfig};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let graph = frogwild_graph::generators::livejournal_like(2_000, &mut rng);
+//!
+//! let cfg = WalkIndexConfig::default();
+//! let (index, report) = build_walk_index_standalone(&graph, 4, &cfg)?;
+//! assert!(report.arena_bytes <= cfg.memory_budget_bytes);
+//!
+//! let served = indexed_ppr(&graph, &index, &cfg, 7, 0.15)?;
+//! assert!((served.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! # Ok::<(), frogwild::Error>(())
+//! ```
+
+mod build;
+mod config;
+mod serve;
+mod storage;
+
+pub use build::{build_walk_index, build_walk_index_standalone, WalkIndexBuildReport};
+pub use config::WalkIndexConfig;
+pub use serve::{indexed_pagerank, indexed_ppr, IndexServeStats, IndexedEstimate, TAIL_FLOOR};
+pub use storage::WalkIndex;

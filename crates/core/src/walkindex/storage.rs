@@ -1,0 +1,168 @@
+//! Flat arena storage of precomputed walk segments.
+//!
+//! A [`WalkIndex`] stores `R` walk segments for each of `n` vertices in two contiguous
+//! arrays, CSR-style: `offsets` has `n · R + 1` entries delimiting the segments, and
+//! `hops` concatenates every hop of every segment in `(vertex, segment)`-major order.
+//! Segment `j` of vertex `v` is the slice `hops[offsets[v·R + j] .. offsets[v·R + j + 1]]`
+//! — one bounds check and two loads away from any query, with no per-vertex allocation
+//! anywhere. Segments are at most `L` hops long and shorter only when the walk reached a
+//! dangling vertex (a sink) early.
+
+use frogwild_graph::VertexId;
+
+/// A precomputed, immutable arena of random-walk segments over one graph.
+///
+/// Built by [`build_walk_index`](super::build_walk_index) (or
+/// [`SessionBuilder::walk_index`](crate::session::SessionBuilder::walk_index)); served
+/// from by [`indexed_ppr`](super::indexed_ppr) and
+/// [`indexed_pagerank`](super::indexed_pagerank). The index is independent of the
+/// teleport probability: segments are pure walk hops, and walk *length* is decided at
+/// query time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalkIndex {
+    num_vertices: usize,
+    num_edges: usize,
+    segments_per_vertex: usize,
+    segment_length: usize,
+    seed: u64,
+    /// `num_vertices * segments_per_vertex + 1` delimiters into `hops`.
+    offsets: Vec<usize>,
+    /// Every hop of every segment, concatenated.
+    hops: Vec<VertexId>,
+}
+
+impl WalkIndex {
+    /// Assembles an index from its raw parts. `offsets` must have
+    /// `num_vertices * segments_per_vertex + 1` monotone entries ending at
+    /// `hops.len()`; the builder is the only intended caller.
+    pub(crate) fn from_parts(
+        num_vertices: usize,
+        num_edges: usize,
+        segments_per_vertex: usize,
+        segment_length: usize,
+        seed: u64,
+        offsets: Vec<usize>,
+        hops: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), num_vertices * segments_per_vertex + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), hops.len());
+        WalkIndex {
+            num_vertices,
+            num_edges,
+            segments_per_vertex,
+            segment_length,
+            seed,
+            offsets,
+            hops,
+        }
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges of the graph the index was built from — checked at serve time
+    /// so an index cannot silently answer for a different graph of the same size.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Segments stored per vertex (`R`, *after* any memory-budget shrink).
+    pub fn segments_per_vertex(&self) -> usize {
+        self.segments_per_vertex
+    }
+
+    /// Maximum hops per segment (`L`).
+    pub fn segment_length(&self) -> usize {
+        self.segment_length
+    }
+
+    /// The seed the segments were generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Segment `j` (`0 <= j < R`) of vertex `v`, as the slice of vertices the walk
+    /// visits after leaving `v`. Empty when `v` is dangling; shorter than
+    /// [`segment_length`](Self::segment_length) when the walk hit a sink early.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` or `j` is out of range.
+    #[inline]
+    pub fn segment(&self, v: VertexId, j: usize) -> &[VertexId] {
+        assert!(
+            j < self.segments_per_vertex,
+            "segment index {j} out of range"
+        );
+        let slot = v as usize * self.segments_per_vertex + j;
+        &self.hops[self.offsets[slot]..self.offsets[slot + 1]]
+    }
+
+    /// Total hops stored across all segments.
+    pub fn total_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Number of segments that stopped short of the full length (they reached a sink).
+    pub fn truncated_segments(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .filter(|w| w[1] - w[0] < self.segment_length)
+            .count()
+    }
+
+    /// Bytes held by the arena (offset table plus hop array).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.hops.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_index() -> WalkIndex {
+        // 2 vertices, 2 segments each, L = 3.
+        // v0: [1, 0, 1], [1]  (second segment hit a sink early — synthetic)
+        // v1: [], [0, 1, 0]
+        let offsets = vec![0, 3, 4, 4, 7];
+        let hops = vec![1, 0, 1, 1, 0, 1, 0];
+        WalkIndex::from_parts(2, 4, 2, 3, 9, offsets, hops)
+    }
+
+    #[test]
+    fn segment_slices_follow_the_offsets() {
+        let idx = tiny_index();
+        assert_eq!(idx.segment(0, 0), &[1, 0, 1]);
+        assert_eq!(idx.segment(0, 1), &[1]);
+        assert_eq!(idx.segment(1, 0), &[] as &[VertexId]);
+        assert_eq!(idx.segment(1, 1), &[0, 1, 0]);
+        assert_eq!(idx.total_hops(), 7);
+        assert_eq!(idx.num_vertices(), 2);
+        assert_eq!(idx.num_edges(), 4);
+        assert_eq!(idx.segments_per_vertex(), 2);
+        assert_eq!(idx.segment_length(), 3);
+        assert_eq!(idx.seed(), 9);
+    }
+
+    #[test]
+    fn truncated_segments_counts_short_ones() {
+        assert_eq!(tiny_index().truncated_segments(), 2);
+    }
+
+    #[test]
+    fn memory_bytes_covers_both_arrays() {
+        let idx = tiny_index();
+        let expected = 5 * std::mem::size_of::<usize>() + 7 * std::mem::size_of::<VertexId>();
+        assert_eq!(idx.memory_bytes(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_index_is_range_checked() {
+        let _ = tiny_index().segment(0, 2);
+    }
+}

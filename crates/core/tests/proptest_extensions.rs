@@ -146,6 +146,28 @@ proptest! {
     }
 
     #[test]
+    fn forward_push_invariants_hold_across_epsilon_and_teleport(
+        (graph, source) in arb_graph_and_source(),
+        eps_exp in 2i32..8,
+        teleport in 0.05f64..0.6,
+    ) {
+        let epsilon = 10f64.powi(-eps_exp);
+        let push = forward_push_ppr(&graph, source, teleport, epsilon);
+        let settled: f64 = push.estimate.iter().sum();
+        let residual = push.residual_mass();
+        // Residual mass plus settled mass is exactly the unit of mass that entered.
+        prop_assert!(
+            (settled + residual - 1.0).abs() < 1e-9,
+            "settled {} + residual {} != 1", settled, residual
+        );
+        // Estimates are a sub-distribution: nonnegative, finite, summing to <= 1.
+        prop_assert!(push.estimate.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        prop_assert!(settled <= 1.0 + 1e-9);
+        // Residuals never go negative either, and the push count is finite work.
+        prop_assert!(push.residual.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
     fn ppr_scores_sum_to_one_and_are_nonnegative((graph, source) in arb_graph_and_source()) {
         let result = personalized_pagerank(
             &graph,

@@ -24,6 +24,9 @@
 //! * **Execution** ([`engine`]) — a deterministic single-threaded executor and a
 //!   multi-threaded executor (one worker per simulated machine, synchronized at
 //!   superstep barriers) that produce identical results for the same seed.
+//! * **Walk-segment generation** ([`walkgen`]) — parallel precomputation of per-vertex
+//!   random-walk segments (each machine generates for the vertices it masters), the
+//!   build phase of `frogwild`'s walk-index subsystem.
 //!
 //! The engine is *simulated* in the sense that all "machines" live in one process and
 //! network transfer is accounted rather than performed; everything else — the data
@@ -42,6 +45,7 @@ pub mod placement;
 pub mod program;
 pub mod rng;
 pub mod sync;
+pub mod walkgen;
 
 pub use cluster::{ClusterConfig, MachineId};
 pub use engine::{Engine, EngineConfig, EngineOutput, InitialActivation};
@@ -54,3 +58,4 @@ pub use partition::{
 pub use placement::{PartitionedGraph, Shard, VertexPlacement};
 pub use program::{ApplyContext, EdgeDirection, ScatterContext, VertexProgram};
 pub use sync::SyncPolicy;
+pub use walkgen::{generate_walk_segments, MachineSegments};

@@ -119,11 +119,6 @@ fn session_topk_matches_fresh_one_shot_run_bit_for_bit() {
     assert_eq!(response.top_vertices(), one_shot.top_k(30));
     assert_eq!(response.cost.network_bytes, one_shot.cost.network_bytes);
     assert_eq!(response.cost.supersteps, one_shot.cost.supersteps);
-
-    // The deprecated wrapper is the same path; pin the compatibility contract too.
-    #[allow(deprecated)]
-    let legacy = frogwild::run_frogwild(&graph, &cluster, &config);
-    assert_eq!(response.estimate, legacy.estimate);
 }
 
 #[test]
