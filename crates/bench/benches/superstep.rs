@@ -1,9 +1,12 @@
 //! Microbenchmark of the engine's superstep machinery: full FrogWild runs with
-//! serial and multi-threaded execution, isolating the engine overhead from the
-//! algorithm's accuracy concerns.
+//! serial and worker-pool execution, plus delta-gated vs ungated runs of both
+//! vertex programs, isolating the engine overhead from the algorithm's accuracy
+//! concerns.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use frogwild::driver::{partition_graph, run_frogwild_on};
+use frogwild::driver::{
+    partition_graph, run_frogwild_on, run_frogwild_scheduled, run_graphlab_pr_on,
+};
 use frogwild::prelude::*;
 use frogwild_graph::generators::twitter_like;
 use rand::rngs::SmallRng;
@@ -40,8 +43,82 @@ fn bench_superstep(c: &mut Criterion) {
             )
         })
     });
+    group.bench_function("frogwild_4_supersteps_pool4_batch256", |b| {
+        b.iter(|| {
+            black_box(
+                run_frogwild_scheduled(
+                    &pg,
+                    &FrogWildConfig {
+                        parallel: true,
+                        ..config
+                    },
+                    &Scheduling {
+                        workers: 4,
+                        batch_size: 256,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("frogwild_4_supersteps_gated_tol2", |b| {
+        b.iter(|| {
+            black_box(
+                run_frogwild_on(
+                    &pg,
+                    &FrogWildConfig {
+                        tolerance: 2.0,
+                        ..config
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_superstep);
+fn bench_delta_gate(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let graph = twitter_like(3_000, &mut rng);
+    let pg = partition_graph(&graph, &ClusterConfig::new(16, 9));
+    let base = PageRankConfig {
+        max_iterations: 20,
+        ..PageRankConfig::default()
+    };
+
+    let mut group = c.benchmark_group("engine_delta_gate");
+    group.sample_size(10);
+    group.bench_function("pagerank_20_iters_ungated", |b| {
+        b.iter(|| {
+            black_box(
+                run_graphlab_pr_on(
+                    &pg,
+                    &PageRankConfig {
+                        tolerance: 0.0,
+                        ..base
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("pagerank_20_iters_gated_tol1e3", |b| {
+        b.iter(|| {
+            black_box(
+                run_graphlab_pr_on(
+                    &pg,
+                    &PageRankConfig {
+                        tolerance: 1e-3,
+                        ..base
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_superstep, bench_delta_gate);
 criterion_main!(benches);

@@ -44,11 +44,16 @@
 //!     --iterations <n>     engine supersteps                        [default: 4]
 //!     --ps <p>             mirror synchronization probability       [default: 0.7]
 //!     --repeat <n>         serve the query n times on one session   [default: 1]
-//!     --parallel           one worker thread per simulated machine
+//!     --parallel           serve engine work batches from a worker pool
+//!     --workers <n>        worker threads when --parallel           [default: auto]
+//!     --tolerance <t>      delta gate: a vertex whose live-walker count after apply
+//!                          is <= t skips scatter and leaves the frontier [default: 0]
 //!
 //! PAGERANK OPTIONS:
 //!     --iterations <n>     number of iterations                     [default: 2]
 //!     --exact              run to convergence instead
+//!     --tolerance <t>      delta gate: a vertex whose rank changed by <= t skips
+//!                          scatter (overrides the preset's tolerance)
 //!
 //! PPR OPTIONS:
 //!     --source <v>         source vertex id (required)
@@ -132,8 +137,9 @@ fn print_usage() {
          \u{20}          [--walk-index] [--walk-index-segments R] [--walk-index-length L]\n\
          \u{20}          [--walk-index-epsilon E] [--walk-index-walks N] [--walk-index-budget-mb M]\n\
          topk:     --k N --walkers N --iterations N --ps P [--repeat N] [--parallel]\n\
+         \u{20}          [--workers N] [--tolerance T]\n\
          autotune: --k N --loss E --delta D --ps P [--pilot-walkers N]\n\
-         pagerank: --iterations N | --exact\n\
+         pagerank: --iterations N | --exact [--tolerance T]\n\
          ppr:      --source V [--method push|exact|mc] [--epsilon E] [--k N]\n\
          index:    [--probe N] (walk-index options above; builds and reports the index)\n\
          plan:     --k N --vertices N --mass M --loss E --delta D\n\
@@ -242,10 +248,12 @@ fn session_over<'g>(args: &Args, graph: &'g DiGraph, allow_index: bool) -> Resul
         PartitionerKind::default(),
         "a partitioner name",
     )?;
+    let workers: usize = args.get_parsed("workers", 0usize, "an integer")?;
     let mut builder = Session::builder(graph)
         .machines(machines)
         .partitioner(partitioner)
-        .seed(seed);
+        .seed(seed)
+        .scheduling(Scheduling::with_workers(workers));
     if let Some(config) = walk_index_config(args)? {
         if allow_index {
             builder = builder.walk_index(config);
@@ -294,14 +302,9 @@ fn print_ranking(response: &Response, score_label: &str) {
 }
 
 fn print_session_stats(session: &Session<'_>) {
-    let stats = session.stats();
-    eprintln!(
-        "session served {} queries: {} net bytes, {:.4}s simulated, amortized partition cost {:.4}s/query",
-        stats.queries_served,
-        stats.total_network_bytes,
-        stats.total_simulated_seconds,
-        stats.amortized_partition_seconds(),
-    );
+    // SessionStats implements Display with the full amortized-economics audit,
+    // including the executor's frontier counters.
+    eprintln!("{}", session.stats());
 }
 
 fn cmd_topk(args: &Args) -> Result<()> {
@@ -311,10 +314,17 @@ fn cmd_topk(args: &Args) -> Result<()> {
         sync_probability: args.get_parsed("ps", 0.7f64, "a probability in (0, 1]")?,
         seed: args.get_parsed("seed", 42, "an integer")?,
         parallel: args.has_flag("parallel"),
+        tolerance: args.get_parsed("tolerance", 0.0f64, "a non-negative number")?,
         ..FrogWildConfig::default()
     };
     // Fail fast on a bad configuration before the (expensive) graph load + partition.
     config.validate()?;
+    if config.tolerance > 0.0 && walk_index_config(args)?.is_some() {
+        eprintln!(
+            "warning: --tolerance gates the engine's scatter phase, but --walk-index serves \
+             topk from precomputed segments; the tolerance has no effect on index-served queries"
+        );
+    }
     let k: usize = args.get_parsed("k", 100, "an integer")?;
     let repeat: usize = args.get_parsed("repeat", 1usize, "an integer")?;
     if repeat == 0 {
@@ -337,11 +347,16 @@ fn cmd_topk(args: &Args) -> Result<()> {
 fn cmd_pagerank(args: &Args) -> Result<()> {
     let graph = load_graph(args)?;
     let mut session = session_over(args, &graph, false)?;
-    let config = if args.has_flag("exact") {
+    let mut config = if args.has_flag("exact") {
         PageRankConfig::exact()
     } else {
         PageRankConfig::truncated(args.get_parsed("iterations", 2usize, "an integer")?)
     };
+    if args.get("tolerance").is_some() {
+        config.tolerance =
+            args.get_parsed("tolerance", config.tolerance, "a non-negative number")?;
+        config.validate()?;
+    }
     let k: usize = args.get_parsed("k", 100, "an integer")?;
 
     let response = session.query(&Query::Pagerank { k, config })?;
@@ -414,6 +429,13 @@ fn cmd_ppr(args: &Args) -> Result<()> {
             ))
         }
     };
+
+    if args.get("tolerance").is_some() {
+        eprintln!(
+            "warning: --tolerance gates the engine's scatter phase; ppr is served serially \
+             or from the walk index and ignores it"
+        );
+    }
 
     let graph = load_graph(args)?;
     // Range-check on the raw u64 before narrowing: `--source` values past u32::MAX

@@ -44,8 +44,14 @@ pub struct FrogWildConfig {
     pub binomial_scatter: bool,
     /// Seed for walker placement and all engine randomness.
     pub seed: u64,
-    /// Run the per-machine engine phases on one thread per simulated machine.
+    /// Serve the engine's work batches from a multi-threaded worker pool.
     pub parallel: bool,
+    /// Delta-gating threshold: a vertex whose live-walker count after apply is at or
+    /// below this value skips synchronization and scatter and drops out of the
+    /// frontier (its walkers park in place and still count toward the estimator).
+    /// `0.0` (the default) disables gating and reproduces the ungated engine
+    /// bit-for-bit.
+    pub tolerance: f64,
 }
 
 impl Default for FrogWildConfig {
@@ -58,6 +64,7 @@ impl Default for FrogWildConfig {
             binomial_scatter: false,
             seed: 0xF209,
             parallel: false,
+            tolerance: 0.0,
         }
     }
 }
@@ -102,7 +109,41 @@ impl FrogWildConfig {
                 ),
             ));
         }
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(Error::config(
+                "FrogWildConfig",
+                format!(
+                    "tolerance must be finite and non-negative, got {}",
+                    self.tolerance
+                ),
+            ));
+        }
         Ok(())
+    }
+}
+
+/// Worker-pool scheduling knobs for the delta-gated executor, threaded through the
+/// drivers and [`SessionBuilder`](crate::session::SessionBuilder) into
+/// [`EngineConfig`](frogwild_engine::EngineConfig). The defaults (`0`, `0`) let the
+/// engine size everything automatically; none of the values change results, only how
+/// the work is spread over host threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scheduling {
+    /// Worker threads serving phase work batches when parallel execution is on
+    /// (`0` = derive from the host's available parallelism).
+    pub workers: usize,
+    /// Tasks per work batch — one contiguous key range of one simulated machine's
+    /// task list (`0` = built-in default).
+    pub batch_size: usize,
+}
+
+impl Scheduling {
+    /// Scheduling with an explicit worker count and the default batch size.
+    pub fn with_workers(workers: usize) -> Self {
+        Scheduling {
+            workers,
+            batch_size: 0,
+        }
     }
 }
 
@@ -234,6 +275,22 @@ mod tests {
         assert!(c.validate().is_err());
         c.sync_probability = 1.1;
         assert!(c.validate().is_err());
+        c.sync_probability = 0.7;
+        c.tolerance = -1.0;
+        assert!(c.validate().is_err());
+        c.tolerance = f64::NAN;
+        assert!(c.validate().is_err());
+        c.tolerance = 2.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scheduling_defaults_to_auto() {
+        let s = Scheduling::default();
+        assert_eq!(s.workers, 0);
+        assert_eq!(s.batch_size, 0);
+        assert_eq!(Scheduling::with_workers(4).workers, 4);
+        assert_eq!(Scheduling::with_workers(4).batch_size, 0);
     }
 
     #[test]

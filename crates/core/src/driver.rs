@@ -25,7 +25,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{FrogWildConfig, PageRankConfig};
+use crate::config::{FrogWildConfig, PageRankConfig, Scheduling};
 use crate::error::Error;
 use crate::programs::{FrogWildProgram, PageRankProgram};
 use crate::topk::normalize;
@@ -52,6 +52,14 @@ pub struct CostSummary {
     pub replication_factor: f64,
     /// Mirror synchronizations skipped by partial synchronization.
     pub skipped_syncs: u64,
+    /// Active vertices that scheduled no scatter (structural `needs_scatter` plus
+    /// delta gating).
+    pub skipped_scatters: u64,
+    /// Messages delivered to master inboxes after combining, local deliveries
+    /// included.
+    pub routed_messages: u64,
+    /// Sum of per-superstep frontier sizes.
+    pub active_vertices: u64,
 }
 
 impl CostSummary {
@@ -67,6 +75,9 @@ impl CostSummary {
             supersteps: metrics.num_supersteps(),
             replication_factor: metrics.replication_factor,
             skipped_syncs: metrics.total_skipped_syncs(),
+            skipped_scatters: metrics.total_skipped_scatters(),
+            routed_messages: metrics.total_routed_messages(),
+            active_vertices: metrics.total_active_vertices(),
         }
     }
 }
@@ -110,6 +121,22 @@ pub fn partition_graph(graph: &DiGraph, cluster: &ClusterConfig) -> PartitionedG
 /// Returns [`Error::InvalidConfig`] when the configuration fails
 /// [`FrogWildConfig::validate`].
 pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> Result<RunReport, Error> {
+    run_frogwild_scheduled(pg, config, &Scheduling::default())
+}
+
+/// Runs FrogWild with explicit worker-pool [`Scheduling`] knobs. The knobs only
+/// change how the work is spread over host threads; the estimate and all counted
+/// costs are identical to [`run_frogwild_on`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the configuration fails
+/// [`FrogWildConfig::validate`].
+pub fn run_frogwild_scheduled(
+    pg: &PartitionedGraph,
+    config: &FrogWildConfig,
+    scheduling: &Scheduling,
+) -> Result<RunReport, Error> {
     let program = FrogWildProgram::new(config)?;
     let engine_config = EngineConfig {
         sync_policy: config.sync_policy(),
@@ -117,6 +144,9 @@ pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> Result
         max_supersteps: config.iterations,
         seed: config.seed,
         parallel: config.parallel,
+        tolerance: config.tolerance,
+        workers: scheduling.workers,
+        batch_size: scheduling.batch_size,
     };
     let cost_model = engine_config.cost_model;
     let engine = Engine::new(pg, program, engine_config)?;
@@ -170,6 +200,23 @@ pub fn run_graphlab_pr_on(
     pg: &PartitionedGraph,
     config: &PageRankConfig,
 ) -> Result<RunReport, Error> {
+    run_graphlab_pr_scheduled(pg, config, &Scheduling::default())
+}
+
+/// Runs the baseline PageRank with explicit worker-pool [`Scheduling`] knobs. The
+/// configured [`PageRankConfig::tolerance`] becomes the executor's delta-gating
+/// threshold (GraphLab's dynamic scheduling); the scheduling knobs never change
+/// results.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when the configuration fails
+/// [`PageRankConfig::validate`].
+pub fn run_graphlab_pr_scheduled(
+    pg: &PartitionedGraph,
+    config: &PageRankConfig,
+    scheduling: &Scheduling,
+) -> Result<RunReport, Error> {
     let program = PageRankProgram::new(config)?;
     let engine_config = EngineConfig {
         sync_policy: SyncPolicy::Full,
@@ -177,6 +224,9 @@ pub fn run_graphlab_pr_on(
         max_supersteps: config.max_iterations,
         seed: config.seed,
         parallel: config.parallel,
+        tolerance: config.tolerance,
+        workers: scheduling.workers,
+        batch_size: scheduling.batch_size,
     };
     let cost_model = engine_config.cost_model;
     let engine = Engine::new(pg, program, engine_config)?;
@@ -449,5 +499,67 @@ mod tests {
         .unwrap();
         assert_eq!(serial.estimate, parallel.estimate);
         assert_eq!(serial.cost.network_bytes, parallel.cost.network_bytes);
+    }
+
+    #[test]
+    fn scheduling_knobs_never_change_results() {
+        let g = test_graph(300);
+        let pg = partition_graph(&g, &small_cluster());
+        let base = FrogWildConfig {
+            num_walkers: 20_000,
+            iterations: 3,
+            sync_probability: 0.7,
+            parallel: true,
+            ..FrogWildConfig::default()
+        };
+        let reference = run_frogwild_on(&pg, &base).unwrap();
+        for scheduling in [
+            Scheduling::with_workers(2),
+            Scheduling::with_workers(7),
+            Scheduling {
+                workers: 3,
+                batch_size: 17,
+            },
+            Scheduling {
+                workers: 0,
+                batch_size: 1,
+            },
+        ] {
+            let run = run_frogwild_scheduled(&pg, &base, &scheduling).unwrap();
+            assert_eq!(reference.estimate, run.estimate, "{scheduling:?}");
+            assert_eq!(reference.cost.network_bytes, run.cost.network_bytes);
+            assert_eq!(reference.cost.routed_messages, run.cost.routed_messages);
+        }
+    }
+
+    #[test]
+    fn frogwild_tolerance_gates_scatter_work() {
+        let g = test_graph(500);
+        let pg = partition_graph(&g, &ClusterConfig::new(8, 3));
+        let base = FrogWildConfig {
+            num_walkers: 5_000,
+            iterations: 6,
+            ..FrogWildConfig::default()
+        };
+        let ungated = run_frogwild_on(&pg, &base).unwrap();
+        let gated = run_frogwild_on(
+            &pg,
+            &FrogWildConfig {
+                tolerance: 2.0,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(
+            gated.cost.skipped_scatters > ungated.cost.skipped_scatters,
+            "gated {} vs ungated {}",
+            gated.cost.skipped_scatters,
+            ungated.cost.skipped_scatters
+        );
+        assert!(gated.cost.routed_messages < ungated.cost.routed_messages);
+        // The estimator still counts parked walkers, so the estimate remains a
+        // distribution.
+        let total: f64 = gated.estimate.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
     }
 }

@@ -104,6 +104,14 @@ impl VertexProgram for FrogWildProgram {
         state.live > 0
     }
 
+    // The convergence magnitude is the live-walker count: at the engine's default
+    // tolerance of 0 this gates exactly when `needs_scatter` declines (`live == 0`),
+    // and a positive tolerance additionally parks near-empty vertices (their walkers
+    // stay in `live` and still count toward the estimator).
+    fn delta(&self, _old: &FrogState, new: &FrogState) -> f64 {
+        new.live as f64
+    }
+
     fn scatter_replica(
         &self,
         ctx: &mut ScatterContext<'_>,
@@ -358,6 +366,26 @@ mod tests {
             called = true;
         });
         assert!(!called);
+    }
+
+    #[test]
+    fn delta_is_the_live_count_and_agrees_with_needs_scatter_at_zero() {
+        let program = FrogWildProgram::new(&config(4)).unwrap();
+        let old = FrogState::default();
+        let quiet = FrogState {
+            live: 0,
+            stopped: 9,
+        };
+        let busy = FrogState {
+            live: 12,
+            stopped: 1,
+        };
+        // `delta <= 0` exactly when `needs_scatter` is false.
+        assert!(program.delta(&old, &quiet) <= 0.0);
+        assert!(!program.needs_scatter(0, &quiet));
+        assert!(program.delta(&old, &busy) > 0.0);
+        assert!(program.needs_scatter(0, &busy));
+        assert_eq!(program.delta(&old, &busy), 12.0);
     }
 
     #[test]

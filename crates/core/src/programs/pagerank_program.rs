@@ -8,8 +8,9 @@
 //!   `n · π`); the driver normalises before computing accuracy metrics;
 //! * gather pulls `rank / out_degree` over in-edges;
 //! * apply sets `rank = p_T + (1 - p_T) · Σ`;
-//! * scatter signals out-neighbours only while the vertex's rank is still changing by
-//!   more than the configured tolerance (GraphLab's dynamic scheduling).
+//! * the program reports each apply's rank change through `delta`, and the executor
+//!   signals out-neighbours only while that change exceeds its configured tolerance
+//!   (GraphLab's dynamic scheduling, now enforced by the delta-gated frontier).
 //!
 //! Every iteration the updated rank must be pushed to all mirrors (the gather of a
 //! neighbouring vertex reads the local cached copy), which is the per-iteration network
@@ -39,11 +40,13 @@ impl Default for RankState {
     }
 }
 
-/// The baseline PageRank vertex program.
+/// The baseline PageRank vertex program. The convergence tolerance itself lives in
+/// the executor ([`EngineConfig::tolerance`](frogwild_engine::EngineConfig)); the
+/// program only reports each vertex's rank change through
+/// [`VertexProgram::delta`].
 #[derive(Clone, Debug)]
 pub struct PageRankProgram {
     teleport_probability: f64,
-    tolerance: f64,
 }
 
 impl PageRankProgram {
@@ -57,7 +60,6 @@ impl PageRankProgram {
         config.validate()?;
         Ok(PageRankProgram {
             teleport_probability: config.teleport_probability,
-            tolerance: config.tolerance,
         })
     }
 }
@@ -104,8 +106,8 @@ impl VertexProgram for PageRankProgram {
         state.rank = new_rank;
     }
 
-    fn needs_scatter(&self, _vertex: VertexId, state: &RankState) -> bool {
-        state.delta > self.tolerance
+    fn delta(&self, old: &RankState, new: &RankState) -> f64 {
+        (new.rank - old.rank).abs()
     }
 
     fn scatter_replica(
@@ -199,22 +201,24 @@ mod tests {
     }
 
     #[test]
-    fn scatter_stops_below_tolerance() {
-        let p = PageRankProgram::new(&PageRankConfig {
-            tolerance: 1e-3,
-            ..PageRankConfig::default()
-        })
-        .unwrap();
-        let converged = RankState {
-            rank: 0.5,
-            delta: 1e-4,
-        };
-        let active = RankState {
+    fn delta_reports_absolute_rank_change_for_the_executor_gate() {
+        let p = program();
+        let old = RankState {
             rank: 0.5,
             delta: 1e-2,
         };
-        assert!(!p.needs_scatter(0, &converged));
-        assert!(p.needs_scatter(0, &active));
+        let new = RankState {
+            rank: 0.4997,
+            delta: 3e-4,
+        };
+        let d = p.delta(&old, &new);
+        assert!((d - 3e-4).abs() < 1e-12);
+        // The executor gates with `delta <= tolerance`, mirroring the old
+        // `needs_scatter = delta > tolerance` exactly.
+        assert!(d <= 1e-3);
+        assert!(p.delta(&new, &old) > 1e-4);
+        // `needs_scatter` is structural only; PageRank never declines it.
+        assert!(p.needs_scatter(0, &old));
     }
 
     #[test]

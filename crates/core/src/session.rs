@@ -56,8 +56,8 @@ use frogwild_engine::{ClusterConfig, PartitionedGraph, Partitioner, PartitionerK
 use frogwild_graph::{DiGraph, VertexId};
 
 use crate::autotune::{auto_topk_on, AutoTuneConfig};
-use crate::config::{in_open_unit_interval, FrogWildConfig, PageRankConfig};
-use crate::driver::{run_frogwild_on, run_graphlab_pr_on, RunReport};
+use crate::config::{in_open_unit_interval, FrogWildConfig, PageRankConfig, Scheduling};
+use crate::driver::{run_frogwild_scheduled, run_graphlab_pr_scheduled, RunReport};
 use crate::error::{Error, Result};
 use crate::ppr::{
     forward_push_ppr, monte_carlo_ppr_counted, personalized_pagerank, single_source_restart,
@@ -77,6 +77,7 @@ pub struct SessionBuilder<'g> {
     machines: usize,
     partitioner: PartitionerKind,
     seed: u64,
+    scheduling: Scheduling,
     walk_index: Option<WalkIndexConfig>,
 }
 
@@ -96,6 +97,16 @@ impl<'g> SessionBuilder<'g> {
     /// Seed for partitioning (query-level randomness is seeded per query config).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Worker-pool [`Scheduling`] knobs every engine-served query runs under.
+    ///
+    /// The knobs decide only how work batches are spread over host threads — query
+    /// results are bit-identical for every setting. The default lets the engine size
+    /// the pool automatically.
+    pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
         self
     }
 
@@ -165,6 +176,7 @@ impl<'g> SessionBuilder<'g> {
             pg,
             cluster,
             partitioner: self.partitioner,
+            scheduling: self.scheduling,
             index,
             stats: SessionStats {
                 queries_served: 0,
@@ -180,6 +192,9 @@ impl<'g> SessionBuilder<'g> {
                 total_walk_hops: 0,
                 total_index_hits: 0,
                 total_index_misses: 0,
+                total_active_vertices: 0,
+                total_skipped_scatters: 0,
+                total_routed_messages: 0,
             },
         })
     }
@@ -306,6 +321,13 @@ pub struct QueryCost {
     pub index_misses: u64,
     /// Whether the session's walk index answered this query.
     pub index_served: bool,
+    /// Frontier sizes summed over supersteps (engine-served queries only).
+    pub active_vertices: u64,
+    /// Scatters the executor's delta gate suppressed (engine-served queries only).
+    pub skipped_scatters: u64,
+    /// Post-combining message deliveries routed between scatter and the next gather,
+    /// including machine-local ones (engine-served queries only).
+    pub routed_messages: u64,
     /// Real (host) seconds spent answering the query. Excluded from equality.
     pub host_seconds: f64,
 }
@@ -325,6 +347,9 @@ impl PartialEq for QueryCost {
             && self.index_hits == other.index_hits
             && self.index_misses == other.index_misses
             && self.index_served == other.index_served
+            && self.active_vertices == other.active_vertices
+            && self.skipped_scatters == other.skipped_scatters
+            && self.routed_messages == other.routed_messages
     }
 }
 
@@ -339,6 +364,9 @@ impl QueryCost {
             network_messages: report.cost.network_messages,
             simulated_seconds: report.cost.simulated_total_seconds,
             simulated_cpu_seconds: report.cost.simulated_cpu_seconds,
+            active_vertices: report.cost.active_vertices,
+            skipped_scatters: report.cost.skipped_scatters,
+            routed_messages: report.cost.routed_messages,
             host_seconds,
             ..QueryCost::default()
         }
@@ -452,6 +480,12 @@ pub struct SessionStats {
     pub total_index_hits: u64,
     /// Total segment requests the index could not serve.
     pub total_index_misses: u64,
+    /// Total frontier sizes summed over every engine superstep served.
+    pub total_active_vertices: u64,
+    /// Total scatters the executor's delta gate suppressed.
+    pub total_skipped_scatters: u64,
+    /// Total post-combining message deliveries routed by the engine.
+    pub total_routed_messages: u64,
 }
 
 impl SessionStats {
@@ -486,6 +520,54 @@ impl SessionStats {
     }
 }
 
+impl std::fmt::Display for SessionStats {
+    /// A compact human-readable audit of the session's amortized economics, including
+    /// the executor's frontier counters (active vertices, delta-skipped scatters,
+    /// routed messages).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "session: {} queries served ({} index-served)",
+            self.queries_served, self.index_served_queries
+        )?;
+        writeln!(
+            f,
+            "  layout: replication factor {:.3}, partitioned once in {:.3}s \
+             ({:.4}s amortized per query)",
+            self.replication_factor,
+            self.partition_seconds,
+            self.amortized_partition_seconds()
+        )?;
+        if self.index_build_seconds > 0.0 {
+            writeln!(
+                f,
+                "  index: built in {:.3}s, hit rate {:.1}%, {} hits / {} misses",
+                self.index_build_seconds,
+                self.index_hit_rate() * 100.0,
+                self.total_index_hits,
+                self.total_index_misses
+            )?;
+        }
+        writeln!(
+            f,
+            "  engine: {} active vertices over all supersteps, \
+             {} scatters skipped by the delta gate, {} messages routed",
+            self.total_active_vertices, self.total_skipped_scatters, self.total_routed_messages
+        )?;
+        write!(
+            f,
+            "  totals: {} network bytes, {:.4}s simulated, {:.4}s simulated CPU, \
+             {:.4}s host, {} push ops, {} walk hops",
+            self.total_network_bytes,
+            self.total_simulated_seconds,
+            self.total_cpu_seconds,
+            self.total_host_seconds,
+            self.total_push_ops,
+            self.total_walk_hops
+        )
+    }
+}
+
 /// The walk index a session optionally carries: arena, build report, serving knobs.
 #[derive(Debug)]
 struct SessionIndex {
@@ -504,6 +586,7 @@ pub struct Session<'g> {
     pg: PartitionedGraph,
     cluster: ClusterConfig,
     partitioner: PartitionerKind,
+    scheduling: Scheduling,
     index: Option<SessionIndex>,
     stats: SessionStats,
 }
@@ -516,6 +599,7 @@ impl<'g> Session<'g> {
             machines: 16,
             partitioner: PartitionerKind::default(),
             seed: 0x5EED_F20C,
+            scheduling: Scheduling::default(),
             walk_index: None,
         }
     }
@@ -547,12 +631,12 @@ impl<'g> Session<'g> {
                     self.indexed_response(algorithm, served, *k, ResponseDetail::TopK, started)
                 }
                 None => {
-                    let report = run_frogwild_on(&self.pg, config)?;
+                    let report = run_frogwild_scheduled(&self.pg, config, &self.scheduling)?;
                     self.engine_response(report, *k, ResponseDetail::TopK, started)
                 }
             },
             Query::Pagerank { k, config } => {
-                let report = run_graphlab_pr_on(&self.pg, config)?;
+                let report = run_graphlab_pr_scheduled(&self.pg, config, &self.scheduling)?;
                 self.engine_response(report, *k, ResponseDetail::Pagerank, started)
             }
             Query::Ppr {
@@ -577,6 +661,9 @@ impl<'g> Session<'g> {
                 response.cost.simulated_seconds += report.pilot.cost.simulated_total_seconds;
                 response.cost.simulated_cpu_seconds += report.pilot.cost.simulated_cpu_seconds;
                 response.cost.supersteps += report.pilot.cost.supersteps;
+                response.cost.active_vertices += report.pilot.cost.active_vertices;
+                response.cost.skipped_scatters += report.pilot.cost.skipped_scatters;
+                response.cost.routed_messages += report.pilot.cost.routed_messages;
                 response
             }
         };
@@ -589,6 +676,9 @@ impl<'g> Session<'g> {
         self.stats.total_walk_hops += response.cost.walk_hops;
         self.stats.total_index_hits += response.cost.index_hits;
         self.stats.total_index_misses += response.cost.index_misses;
+        self.stats.total_active_vertices += response.cost.active_vertices;
+        self.stats.total_skipped_scatters += response.cost.skipped_scatters;
+        self.stats.total_routed_messages += response.cost.routed_messages;
         if response.cost.index_served {
             self.stats.index_served_queries += 1;
         }
@@ -718,6 +808,11 @@ impl<'g> Session<'g> {
     /// The ingress strategy the session was built with.
     pub fn partitioner(&self) -> PartitionerKind {
         self.partitioner
+    }
+
+    /// The worker-pool scheduling knobs engine-served queries run under.
+    pub fn scheduling(&self) -> Scheduling {
+        self.scheduling
     }
 
     /// Name of the partitioner that produced the layout (e.g. `"oblivious"`).
@@ -1044,6 +1139,58 @@ mod tests {
         assert_eq!(stats.total_network_bytes, bytes);
         assert!(stats.total_host_seconds > 0.0);
         assert!(stats.amortized_partition_seconds() <= stats.partition_seconds);
+    }
+
+    #[test]
+    fn scheduling_knobs_do_not_change_query_results() {
+        let g = test_graph(300);
+        let q = Query::TopK {
+            k: 15,
+            config: FrogWildConfig {
+                parallel: true,
+                ..fw_config()
+            },
+        };
+        let mut baseline = Session::builder(&g).machines(4).seed(11).build().unwrap();
+        let expected = baseline.query(&q).unwrap();
+        for scheduling in [
+            Scheduling::with_workers(2),
+            Scheduling {
+                workers: 5,
+                batch_size: 9,
+            },
+        ] {
+            let mut session = Session::builder(&g)
+                .machines(4)
+                .seed(11)
+                .scheduling(scheduling)
+                .build()
+                .unwrap();
+            assert_eq!(session.scheduling(), scheduling);
+            let got = session.query(&q).unwrap();
+            assert_eq!(expected, got, "{scheduling:?}");
+        }
+    }
+
+    #[test]
+    fn stats_display_surfaces_the_engine_frontier_counters() {
+        let g = test_graph(300);
+        let mut session = Session::builder(&g).machines(4).seed(3).build().unwrap();
+        session
+            .query(&Query::TopK {
+                k: 10,
+                config: fw_config(),
+            })
+            .unwrap();
+        let stats = session.stats();
+        assert!(stats.total_active_vertices > 0);
+        assert!(stats.total_routed_messages > 0);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("1 queries served"));
+        assert!(rendered.contains("active vertices"));
+        assert!(rendered.contains("scatters skipped by the delta gate"));
+        assert!(rendered.contains("messages routed"));
+        assert!(rendered.contains(&format!("{} messages", stats.total_routed_messages)));
     }
 
     #[test]

@@ -5,13 +5,26 @@
 //! is accounted in [`RunMetrics`]; the partial-synchronization policy decides which
 //! mirrors receive fresh state and may therefore participate in scatter.
 //!
-//! Two execution modes are provided. The default single-threaded mode processes
-//! machines one after another; the multi-threaded mode runs the per-machine phases on
-//! one worker thread per simulated machine, joining at phase barriers. Both modes make
-//! every random decision through counter-mode hashes of `(seed, superstep, vertex,
-//! machine)`, so they produce identical results for identical configurations.
+//! The superstep operates on an explicit [`Frontier`] — the sorted set of vertices
+//! activated by last superstep's messages. Two mechanisms shrink it: programs can
+//! decline scatter structurally via `needs_scatter`, and the executor *delta-gates*
+//! convergence — after apply it asks the program for `delta(old, new)` and drops any
+//! vertex whose delta is at or below [`EngineConfig::tolerance`] out of the frontier,
+//! skipping its synchronization and scatter entirely (the production PageRank idiom of
+//! gating scatter on `delta > tolerance`). `tolerance = 0` never gates a vertex that
+//! still changes, and reproduces the ungated engine bit-for-bit.
+//!
+//! Execution is scheduled as sharded work batches: each phase's per-machine task lists
+//! are cut into contiguous key ranges and served by a small worker pool whose size is
+//! independent of the simulated machine count ([`EngineConfig::workers`]). Workers only
+//! *read* shared state; every cache write happens in a serial commit step between
+//! phases, and batch results are re-assembled in canonical (machine, range) order. All
+//! random decisions go through counter-mode hashes of `(seed, superstep, vertex,
+//! machine)`, so any worker count, batch size, or serial execution produces identical
+//! results for identical configurations.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use frogwild_graph::VertexId;
@@ -33,6 +46,9 @@ const TAG_FORCE: u64 = 0xF0C4;
 /// plus the number of work operations it performed.
 type PerMachine<T> = Vec<(Vec<(VertexId, T)>, u64)>;
 
+/// Default number of tasks per work batch when [`EngineConfig::batch_size`] is 0.
+const DEFAULT_BATCH_SIZE: usize = 512;
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -44,8 +60,24 @@ pub struct EngineConfig {
     pub max_supersteps: usize,
     /// Seed for all engine randomness.
     pub seed: u64,
-    /// If `true`, per-machine phases run on one thread per simulated machine.
+    /// If `true`, phase work batches are served by a multi-threaded worker pool;
+    /// if `false`, everything runs on the calling thread. Results are bit-identical
+    /// either way.
     pub parallel: bool,
+    /// Delta-gating threshold: after apply, a vertex whose `program.delta(old, new)`
+    /// is `<= tolerance` skips synchronization and scatter and drops out of the
+    /// frontier. `0.0` (the default) reproduces the ungated engine bit-for-bit for
+    /// every shipped program.
+    pub tolerance: f64,
+    /// Worker threads serving work batches when `parallel` is set. `0` (the default)
+    /// sizes the pool from the host's available parallelism; the thread count is
+    /// independent of the simulated machine count.
+    pub workers: usize,
+    /// Number of tasks per work batch (a contiguous key range of one machine's task
+    /// list). `0` (the default) picks a built-in size. Smaller batches balance better;
+    /// larger batches have less scheduling overhead. The result is identical for any
+    /// value.
+    pub batch_size: usize,
 }
 
 impl Default for EngineConfig {
@@ -56,8 +88,92 @@ impl Default for EngineConfig {
             max_supersteps: 100,
             seed: 0xF20C,
             parallel: false,
+            tolerance: 0.0,
+            workers: 0,
+            batch_size: 0,
         }
     }
+}
+
+/// The engine's active set for one superstep: a sorted, deduplicated list of vertices
+/// that received a message (or were explicitly activated) and will run apply this
+/// superstep. The frontier shrinks as vertices go quiet — structurally via
+/// `needs_scatter`, or through delta gating when their state stops changing — which is
+/// what makes later supersteps cheaper than the first.
+#[derive(Clone, Debug, Default)]
+pub struct Frontier {
+    vertices: Vec<VertexId>,
+}
+
+impl Frontier {
+    /// A frontier containing every vertex of an `num_vertices`-vertex graph.
+    pub fn all(num_vertices: usize) -> Self {
+        Frontier {
+            vertices: (0..num_vertices as VertexId).collect(),
+        }
+    }
+
+    /// Builds a frontier from an arbitrary list of vertices, sorting and deduplicating.
+    pub fn from_unsorted(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        Frontier { vertices }
+    }
+
+    /// Internal constructor for lists already sorted and unique (message routing
+    /// produces them in order).
+    fn from_sorted_unique(vertices: Vec<VertexId>) -> Self {
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+        Frontier { vertices }
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the frontier is empty (the engine is quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The active vertices in ascending order.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Iterates the active vertices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().copied()
+    }
+}
+
+/// A contiguous range of one machine's phase task list, executed as a unit by the
+/// worker pool (the key-range scheduling idiom: each batch touches one shard only,
+/// so workers never contend on a machine's data).
+#[derive(Clone, Copy, Debug)]
+struct BatchRange {
+    machine: usize,
+    start: usize,
+    end: usize,
+}
+
+/// Cuts per-machine task counts into batches of at most `batch_size` tasks.
+fn make_batches(counts: &[usize], batch_size: usize) -> Vec<BatchRange> {
+    let mut batches = Vec::new();
+    for (machine, &count) in counts.iter().enumerate() {
+        let mut start = 0;
+        while start < count {
+            let end = (start + batch_size).min(count);
+            batches.push(BatchRange {
+                machine,
+                start,
+                end,
+            });
+            start = end;
+        }
+    }
+    batches
 }
 
 /// How the first superstep's active set is formed.
@@ -153,9 +269,9 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         let mut inboxes: Vec<HashMap<u32, P::Message>> =
             (0..num_machines).map(|_| HashMap::new()).collect();
 
-        // Initial active set.
-        let mut active: Vec<VertexId> = match initial {
-            InitialActivation::AllVertices => (0..num_vertices as VertexId).collect(),
+        // Initial frontier.
+        let mut frontier: Frontier = match initial {
+            InitialActivation::AllVertices => Frontier::all(num_vertices),
             InitialActivation::Messages(messages) => {
                 let mut seen: Vec<(VertexId, P::Message)> = messages;
                 // Combine per destination, then deliver to masters locally.
@@ -188,11 +304,9 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                         break;
                     }
                 }
-                active
+                Frontier::from_unsorted(active)
             }
         };
-        active.sort_unstable();
-        active.dedup();
 
         let mut metrics = RunMetrics {
             replication_factor: self.graph.placement().replication_factor(),
@@ -201,18 +315,18 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         };
 
         for superstep in 0..self.config.max_supersteps {
-            if active.is_empty() {
+            if frontier.is_empty() {
                 break;
             }
             let start = Instant::now();
-            let (step_metrics, next_active) =
-                self.superstep(superstep, &active, &mut caches, &mut inboxes);
+            let (step_metrics, next_frontier) =
+                self.superstep(superstep, &frontier, &mut caches, &mut inboxes);
             let host_seconds = start.elapsed().as_secs_f64();
             metrics.supersteps.push(SuperstepMetrics {
                 host_seconds,
                 ..step_metrics
             });
-            active = next_active;
+            frontier = next_frontier;
         }
 
         // Collect final states from the masters.
@@ -228,18 +342,24 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         EngineOutput { states, metrics }
     }
 
-    /// Executes one superstep; returns its metrics and the next active set.
+    /// Executes one superstep; returns its metrics and the next frontier.
     fn superstep(
         &self,
         superstep: usize,
-        active: &[VertexId],
+        frontier: &Frontier,
         caches: &mut [Vec<P::State>],
         inboxes: &mut [HashMap<u32, P::Message>],
-    ) -> (SuperstepMetrics, Vec<VertexId>) {
+    ) -> (SuperstepMetrics, Frontier) {
         let num_machines = self.graph.num_machines();
         let placement = self.graph.placement();
         let mut net = NetworkStats::new(num_machines);
         let mut work = WorkStats::new(num_machines);
+        let batch_size = if self.config.batch_size > 0 {
+            self.config.batch_size
+        } else {
+            DEFAULT_BATCH_SIZE
+        };
+        let active = frontier.as_slice();
 
         // ------------------------------------------------------------------ gather --
         let mut accums: Vec<HashMap<u32, P::Accum>> =
@@ -256,17 +376,30 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     }
                 }
             }
-            let per_machine: PerMachine<P::Accum> =
-                self.run_per_machine(caches, |machine, cache| {
-                    let shard = self.graph.shard(MachineId::from(machine));
+            // Read-only key-range batches; results re-assembled per machine in batch
+            // order, which is exactly the order a single pass over the task list
+            // would produce.
+            let counts: Vec<usize> = gather_tasks.iter().map(Vec::len).collect();
+            let batches = make_batches(&counts, batch_size);
+            let results: PerMachine<P::Accum> = {
+                let caches_ro: &[Vec<P::State>] = caches;
+                self.run_batched(&batches, |b| {
+                    let shard = self.graph.shard(MachineId::from(b.machine));
                     gather_machine(
                         &self.program,
                         self.graph,
                         shard,
-                        cache,
-                        &gather_tasks[machine],
+                        &caches_ro[b.machine],
+                        &gather_tasks[b.machine][b.start..b.end],
                     )
-                });
+                })
+            };
+            let mut per_machine: PerMachine<P::Accum> =
+                (0..num_machines).map(|_| (Vec::new(), 0)).collect();
+            for (b, (partials, ops)) in batches.iter().zip(results) {
+                per_machine[b.machine].0.extend(partials);
+                per_machine[b.machine].1 += ops;
+            }
             for (machine, (partials, ops)) in per_machine.into_iter().enumerate() {
                 work.gather_ops += ops;
                 work.ops_per_machine[machine] += ops;
@@ -317,27 +450,47 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 message,
             });
         }
-        let apply_counts: Vec<u64> = self.run_per_machine_mut(caches, |machine, cache| {
-            apply_machine(
-                &self.program,
-                self.graph,
-                cache,
-                &apply_tasks[machine],
-                superstep,
-                self.config.seed,
-            )
-        });
-        for (machine, ops) in apply_counts.into_iter().enumerate() {
-            work.apply_ops += ops;
-            work.ops_per_machine[machine] += ops;
+        // Workers compute fresh states (and their deltas) against the read-only
+        // caches; the commit below writes them back serially, so any worker count
+        // observes identical inputs.
+        let apply_counts: Vec<usize> = apply_tasks.iter().map(Vec::len).collect();
+        let apply_batches = make_batches(&apply_counts, batch_size);
+        let applied: Vec<Vec<(u32, P::State, f64)>> = {
+            let caches_ro: &[Vec<P::State>] = caches;
+            self.run_batched(&apply_batches, |b| {
+                apply_batch(
+                    &self.program,
+                    self.graph,
+                    &caches_ro[b.machine],
+                    &apply_tasks[b.machine][b.start..b.end],
+                    superstep,
+                    self.config.seed,
+                )
+            })
+        };
+        // Serial commit: write fresh states, record each vertex's delta in apply-task
+        // order (one task per active vertex, so the sync loop below can read them back
+        // with per-machine cursors).
+        let mut deltas: Vec<Vec<f64>> = (0..num_machines).map(|_| Vec::new()).collect();
+        for (b, results) in apply_batches.iter().zip(applied) {
+            for (local, state, delta) in results {
+                caches[b.machine][local as usize] = state;
+                deltas[b.machine].push(delta);
+            }
+        }
+        for (machine, &ops) in apply_counts.iter().enumerate() {
+            work.apply_ops += ops as u64;
+            work.ops_per_machine[machine] += ops as u64;
         }
 
         // ----------------------------------------------------- sync decision (central) --
         let ps = self.config.sync_policy.probability();
+        let tolerance = self.config.tolerance;
         let mut sync_receives: Vec<Vec<SyncReceive<P::State>>> =
             (0..num_machines).map(|_| Vec::new()).collect();
         let mut scatter_tasks: Vec<Vec<ScatterTask>> =
             (0..num_machines).map(|_| Vec::new()).collect();
+        let mut delta_cursors = vec![0usize; num_machines];
 
         for &v in active {
             let master = placement.master(v);
@@ -346,8 +499,19 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 .shard(master)
                 .local_index(v)
                 .expect("master replica");
+            let delta = {
+                let cursor = &mut delta_cursors[master.index()];
+                let d = deltas[master.index()][*cursor];
+                *cursor += 1;
+                d
+            };
             let master_state = &caches[master.index()][master_local as usize];
-            if !self.program.needs_scatter(v, master_state) {
+            // The scatter gate: structurally quiet vertices and delta-gated
+            // (converged) vertices schedule no synchronization and no scatter, so
+            // they fall out of the frontier. A program that does not implement
+            // `delta` reports infinity, which no finite tolerance gates.
+            if !self.program.needs_scatter(v, master_state) || delta <= tolerance {
+                work.skipped_scatters += 1;
                 continue;
             }
             let replicas = placement.replicas(v);
@@ -464,21 +628,37 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         }
 
         // ----------------------------------------------------- sync apply + scatter --
-        let scatter_results: PerMachine<P::Message> =
-            self.run_per_machine_mut(caches, |machine, cache| {
-                let shard = self.graph.shard(MachineId::from(machine));
-                scatter_machine(
+        // Serial commit of the mirror refreshes (each targets a distinct local slot),
+        // then read-only scatter batches over the now-consistent caches.
+        for (machine, receives) in sync_receives.into_iter().enumerate() {
+            for recv in receives {
+                caches[machine][recv.local as usize] = recv.state;
+            }
+        }
+        let scatter_counts: Vec<usize> = scatter_tasks.iter().map(Vec::len).collect();
+        let scatter_batches = make_batches(&scatter_counts, batch_size);
+        let batch_results: PerMachine<P::Message> = {
+            let caches_ro: &[Vec<P::State>] = caches;
+            self.run_batched(&scatter_batches, |b| {
+                let shard = self.graph.shard(MachineId::from(b.machine));
+                scatter_batch(
                     &self.program,
                     self.graph,
                     shard,
-                    cache,
-                    &sync_receives[machine],
-                    &scatter_tasks[machine],
+                    &caches_ro[b.machine],
+                    &scatter_tasks[b.machine][b.start..b.end],
                     superstep,
                     self.config.seed,
                     ps,
                 )
-            });
+            })
+        };
+        let mut scatter_results: PerMachine<P::Message> =
+            (0..num_machines).map(|_| (Vec::new(), 0)).collect();
+        for (b, (emitted, ops)) in scatter_batches.iter().zip(batch_results) {
+            scatter_results[b.machine].0.extend(emitted);
+            scatter_results[b.machine].1 += ops;
+        }
 
         // ----------------------------------------------------------- route messages --
         let mut next_inbox_updates: Vec<(usize, u32, P::Message, bool)> = Vec::new();
@@ -516,6 +696,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 next_inbox_updates.push((master.index(), local, msg, crossed));
             }
         }
+        let routed_messages = next_inbox_updates.len() as u64;
         let mut next_active: Vec<VertexId> = Vec::new();
         for (machine, local, msg, _) in next_inbox_updates {
             let vertex = self.graph.shard(MachineId::from(machine)).global_id(local);
@@ -535,71 +716,68 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         let simulated_seconds = self.config.cost_model.superstep_seconds(&work, &net);
         let step_metrics = SuperstepMetrics {
             superstep,
-            active_vertices: active.len(),
+            active_vertices: frontier.len(),
+            routed_messages,
             network: net,
             work,
             simulated_seconds,
             host_seconds: 0.0,
         };
-        (step_metrics, next_active)
+        (step_metrics, Frontier::from_sorted_unique(next_active))
     }
 
-    /// Runs a read-only per-machine closure either serially or on one thread per
-    /// machine, returning results in machine order.
-    fn run_per_machine<T, F>(&self, caches: &[Vec<P::State>], f: F) -> Vec<T>
-    where
-        T: Send,
-        F: Fn(usize, &Vec<P::State>) -> T + Sync,
-    {
-        if self.config.parallel && self.graph.num_machines() > 1 {
-            let f = &f;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = caches
-                    .iter()
-                    .enumerate()
-                    .map(|(machine, cache)| scope.spawn(move || f(machine, cache)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("machine worker panicked"))
-                    .collect()
-            })
-        } else {
-            caches
-                .iter()
-                .enumerate()
-                .map(|(machine, cache)| f(machine, cache))
-                .collect()
+    /// Number of worker threads serving work batches.
+    fn worker_count(&self) -> usize {
+        if !self.config.parallel {
+            return 1;
         }
+        if self.config.workers > 0 {
+            return self.config.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
 
-    /// Runs a mutating per-machine closure either serially or on one thread per
-    /// machine, returning results in machine order.
-    fn run_per_machine_mut<T, F>(&self, caches: &mut [Vec<P::State>], f: F) -> Vec<T>
+    /// Executes `f` over every batch — serially, or on the worker pool with workers
+    /// pulling batches off a shared counter. Results come back in batch order
+    /// regardless of which worker ran what, so scheduling never changes observable
+    /// output.
+    fn run_batched<T, F>(&self, batches: &[BatchRange], f: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize, &mut Vec<P::State>) -> T + Sync,
+        F: Fn(&BatchRange) -> T + Sync,
     {
-        if self.config.parallel && self.graph.num_machines() > 1 {
-            let f = &f;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = caches
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(machine, cache)| scope.spawn(move || f(machine, cache)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("machine worker panicked"))
-                    .collect()
-            })
-        } else {
-            caches
-                .iter_mut()
-                .enumerate()
-                .map(|(machine, cache)| f(machine, cache))
-                .collect()
+        let workers = self.worker_count().min(batches.len());
+        if workers <= 1 {
+            return batches.iter().map(f).collect();
         }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let next = &next;
+            let f = &f;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= batches.len() {
+                                break;
+                            }
+                            out.push((i, f(&batches[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, t)| t).collect()
     }
 }
 
@@ -638,17 +816,22 @@ fn gather_machine<P: VertexProgram>(
     (out, ops)
 }
 
-/// Per-machine apply: runs `apply` for each locally-mastered active vertex. Returns the
-/// number of apply operations.
-fn apply_machine<P: VertexProgram>(
+/// One apply batch: runs `apply` for a range of locally-mastered active vertices
+/// against the read-only cache, producing `(local, fresh state, delta)` triples for
+/// the serial commit. The delta is the program's convergence magnitude for the
+/// executor's tolerance gate.
+fn apply_batch<P: VertexProgram>(
     program: &P,
     graph: &PartitionedGraph,
-    cache: &mut [P::State],
+    cache: &[P::State],
     tasks: &[ApplyTask<P>],
     superstep: usize,
     seed: u64,
-) -> u64 {
+) -> Vec<(u32, P::State, f64)> {
+    let mut out = Vec::with_capacity(tasks.len());
     for task in tasks {
+        let old = &cache[task.local as usize];
+        let mut fresh = old.clone();
         let mut task_rng =
             rng::derived_rng(&[seed, superstep as u64, task.vertex as u64, TAG_APPLY]);
         let mut ctx = ApplyContext {
@@ -660,32 +843,30 @@ fn apply_machine<P: VertexProgram>(
         program.apply(
             &mut ctx,
             task.vertex,
-            &mut cache[task.local as usize],
+            &mut fresh,
             task.accum.clone(),
             task.message.clone(),
         );
+        let delta = program.delta(old, &fresh);
+        out.push((task.local, fresh, delta));
     }
-    tasks.len() as u64
+    out
 }
 
-/// Per-machine sync-apply and scatter. Refreshes the mirror cache with the received
-/// states, then runs `scatter_replica` for every scatter task. Returns the emitted
-/// messages and the number of edge operations considered.
+/// One scatter batch: runs `scatter_replica` for a range of scatter tasks against the
+/// read-only cache (mirror refreshes are committed before scatter starts). Returns the
+/// emitted messages and the number of edge operations considered.
 #[allow(clippy::too_many_arguments)]
-fn scatter_machine<P: VertexProgram>(
+fn scatter_batch<P: VertexProgram>(
     program: &P,
     graph: &PartitionedGraph,
     shard: &Shard,
-    cache: &mut [P::State],
-    receives: &[SyncReceive<P::State>],
+    cache: &[P::State],
     tasks: &[ScatterTask],
     superstep: usize,
     seed: u64,
     sync_probability: f64,
 ) -> (Vec<(VertexId, P::Message)>, u64) {
-    for recv in receives {
-        cache[recv.local as usize] = recv.state.clone();
-    }
     let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
     let mut ops = 0u64;
     for task in tasks {
@@ -782,6 +963,12 @@ mod tests {
 
         fn needs_scatter(&self, _vertex: VertexId, state: &TokenState) -> bool {
             state.forwarding > 0
+        }
+
+        // Equivalent to `needs_scatter` at tolerance 0 (`x as f64 <= 0` iff `x == 0`),
+        // and lets tests gate away low-token vertices with a positive tolerance.
+        fn delta(&self, _old: &TokenState, new: &TokenState) -> f64 {
+            new.forwarding as f64
         }
 
         fn scatter_replica(
@@ -1019,6 +1206,139 @@ mod tests {
         let out = engine.run(InitialActivation::AllVertices);
         assert_eq!(out.metrics.supersteps[0].active_vertices, 12);
         assert_eq!(out.metrics.supersteps[0].work.apply_ops, 12);
+    }
+
+    #[test]
+    fn frontier_sorts_dedups_and_reports_size() {
+        let f = Frontier::from_unsorted(vec![5, 1, 3, 1, 5]);
+        assert_eq!(f.as_slice(), &[1, 3, 5]);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        let all = Frontier::all(4);
+        assert_eq!(all.as_slice(), &[0, 1, 2, 3]);
+        assert!(Frontier::from_unsorted(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn zero_tolerance_matches_the_ungated_run_exactly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let graph = rmat(400, RmatParams::default(), &mut rng);
+        let pg = partitioned(&graph, 5);
+        let run = |tolerance: f64| {
+            let engine = Engine::new(
+                &pg,
+                TokenForward { steps: 5 },
+                EngineConfig {
+                    max_supersteps: 5,
+                    tolerance,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            engine.run(InitialActivation::Messages(vec![(0u32, 9000u64)]))
+        };
+        let gated = run(0.0);
+        let baseline = run(0.0);
+        let tokens = |out: &EngineOutput<TokenState>| {
+            out.states
+                .iter()
+                .map(|s| (s.arrived, s.forwarding))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tokens(&gated), tokens(&baseline));
+        assert_eq!(gated.metrics.total_bytes(), baseline.metrics.total_bytes());
+        assert_eq!(gated.metrics.total_ops(), baseline.metrics.total_ops());
+        assert_eq!(
+            gated.metrics.total_routed_messages(),
+            baseline.metrics.total_routed_messages()
+        );
+    }
+
+    #[test]
+    fn positive_tolerance_gates_low_delta_vertices_out_of_the_frontier() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let graph = rmat(400, RmatParams::default(), &mut rng);
+        let pg = partitioned(&graph, 4);
+        let run = |tolerance: f64| {
+            let engine = Engine::new(
+                &pg,
+                TokenForward { steps: 8 },
+                EngineConfig {
+                    max_supersteps: 8,
+                    tolerance,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            engine.run(InitialActivation::Messages(vec![(0u32, 2_000u64)]))
+        };
+        let ungated = run(0.0);
+        let gated = run(3.0); // vertices forwarding <= 3 tokens go quiet
+        assert!(
+            gated.metrics.total_skipped_scatters() > ungated.metrics.total_skipped_scatters(),
+            "gated {} vs ungated {}",
+            gated.metrics.total_skipped_scatters(),
+            ungated.metrics.total_skipped_scatters()
+        );
+        assert!(gated.metrics.total_scatter_ops() < ungated.metrics.total_scatter_ops());
+        assert!(gated.metrics.total_routed_messages() < ungated.metrics.total_routed_messages());
+        // Gated vertices can still be re-activated by messages from elsewhere, so the
+        // frontier never grows but need not shrink strictly on a dense graph.
+        assert!(gated.metrics.total_active_vertices() <= ungated.metrics.total_active_vertices());
+        // A positive tolerance is an approximation knob: small parcels stop moving,
+        // so the gated run delivers at most what the ungated run delivers.
+        assert!(total_tokens(&gated.states) <= total_tokens(&ungated.states));
+        assert!(total_tokens(&gated.states) > 0);
+    }
+
+    #[test]
+    fn worker_pool_and_batch_size_never_change_results() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let graph = rmat(500, RmatParams::default(), &mut rng);
+        let pg = partitioned(&graph, 6);
+        let run = |parallel: bool, workers: usize, batch_size: usize| {
+            let engine = Engine::new(
+                &pg,
+                TokenForward { steps: 6 },
+                EngineConfig {
+                    max_supersteps: 6,
+                    sync_policy: SyncPolicy::AtLeastOneOutEdge { ps: 0.5 },
+                    parallel,
+                    workers,
+                    batch_size,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            engine.run(InitialActivation::Messages(vec![
+                (0u32, 40_000u64),
+                (3u32, 1_000u64),
+            ]))
+        };
+        let baseline = run(false, 0, 0);
+        let tokens = |out: &EngineOutput<TokenState>| {
+            out.states
+                .iter()
+                .map(|s| (s.arrived, s.forwarding))
+                .collect::<Vec<_>>()
+        };
+        for (parallel, workers, batch_size) in
+            [(true, 2, 7), (true, 3, 64), (true, 8, 1), (false, 0, 13)]
+        {
+            let other = run(parallel, workers, batch_size);
+            assert_eq!(
+                tokens(&baseline),
+                tokens(&other),
+                "workers={workers} batch={batch_size}"
+            );
+            assert_eq!(baseline.metrics.total_bytes(), other.metrics.total_bytes());
+            assert_eq!(baseline.metrics.total_ops(), other.metrics.total_ops());
+            assert_eq!(
+                baseline.metrics.total_routed_messages(),
+                other.metrics.total_routed_messages()
+            );
+        }
     }
 
     #[test]

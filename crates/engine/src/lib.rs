@@ -48,7 +48,7 @@ pub mod sync;
 pub mod walkgen;
 
 pub use cluster::{ClusterConfig, MachineId};
-pub use engine::{Engine, EngineConfig, EngineOutput, InitialActivation};
+pub use engine::{Engine, EngineConfig, EngineOutput, Frontier, InitialActivation};
 pub use frogwild_graph::Error;
 pub use metrics::{CostModel, NetworkStats, RunMetrics, SuperstepMetrics, WorkStats};
 pub use partition::{

@@ -76,6 +76,10 @@ pub struct WorkStats {
     pub sync_ops: u64,
     /// Mirror synchronizations *skipped* because of partial synchronization.
     pub skipped_syncs: u64,
+    /// Active vertices that scheduled no scatter this superstep, either because the
+    /// program's `needs_scatter` declined structurally or because the vertex's delta
+    /// fell at or below the executor's tolerance (delta gating).
+    pub skipped_scatters: u64,
     /// Work operations per machine (gather + apply + scatter attributed to the machine
     /// that executed them).
     pub ops_per_machine: Vec<u64>,
@@ -107,6 +111,7 @@ impl WorkStats {
         self.scatter_ops += other.scatter_ops;
         self.sync_ops += other.sync_ops;
         self.skipped_syncs += other.skipped_syncs;
+        self.skipped_scatters += other.skipped_scatters;
         if self.ops_per_machine.len() < other.ops_per_machine.len() {
             self.ops_per_machine.resize(other.ops_per_machine.len(), 0);
         }
@@ -207,8 +212,12 @@ impl CostModel {
 pub struct SuperstepMetrics {
     /// Superstep index (0-based).
     pub superstep: usize,
-    /// Number of active vertices at the start of the superstep.
+    /// Number of active vertices at the start of the superstep (the frontier size).
     pub active_vertices: usize,
+    /// Messages delivered to master inboxes at the end of the superstep, after
+    /// per-machine combining — local deliveries included, unlike
+    /// [`NetworkStats::messages_sent`] which counts only cross-machine traffic.
+    pub routed_messages: u64,
     /// Network counters for the superstep.
     pub network: NetworkStats,
     /// Work counters for the superstep.
@@ -291,6 +300,32 @@ impl RunMetrics {
         self.supersteps.iter().map(|s| s.work.sync_ops).sum()
     }
 
+    /// Total scatter operations over the whole run.
+    pub fn total_scatter_ops(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.work.scatter_ops).sum()
+    }
+
+    /// Total scatters skipped (structural `needs_scatter` plus delta gating).
+    pub fn total_skipped_scatters(&self) -> u64 {
+        self.supersteps
+            .iter()
+            .map(|s| s.work.skipped_scatters)
+            .sum()
+    }
+
+    /// Total messages routed to master inboxes, local deliveries included.
+    pub fn total_routed_messages(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.routed_messages).sum()
+    }
+
+    /// Sum of per-superstep frontier sizes (active vertices processed over the run).
+    pub fn total_active_vertices(&self) -> u64 {
+        self.supersteps
+            .iter()
+            .map(|s| s.active_vertices as u64)
+            .sum()
+    }
+
     /// Re-prices the whole run on a heterogeneous cluster where machine `m` runs
     /// `speed_factors[m]` times slower than nominal (see
     /// [`CostModel::superstep_seconds_hetero`]). Because the per-superstep counters are
@@ -362,10 +397,12 @@ mod tests {
         let mut other = WorkStats::new(2);
         other.scatter_ops = 7;
         other.skipped_syncs = 3;
+        other.skipped_scatters = 4;
         other.ops_per_machine = vec![0, 7];
         w.merge(&other);
         assert_eq!(w.scatter_ops, 27);
         assert_eq!(w.skipped_syncs, 3);
+        assert_eq!(w.skipped_scatters, 4);
         assert_eq!(w.ops_per_machine, vec![30, 12]);
     }
 
@@ -397,13 +434,16 @@ mod tests {
             net.record(0, 1000);
             let mut work = WorkStats::new(2);
             work.apply_ops = 10;
+            work.scatter_ops = 7;
             work.sync_ops = 4;
             work.skipped_syncs = 6;
+            work.skipped_scatters = 2;
             work.ops_per_machine = vec![10, 0];
             let simulated = model.superstep_seconds(&work, &net);
             run.supersteps.push(SuperstepMetrics {
                 superstep: i,
                 active_vertices: 10,
+                routed_messages: 5,
                 network: net,
                 work,
                 simulated_seconds: simulated,
@@ -412,10 +452,14 @@ mod tests {
         }
         assert_eq!(run.total_bytes(), 3000);
         assert_eq!(run.total_messages(), 3);
-        assert_eq!(run.total_ops(), 30);
+        assert_eq!(run.total_ops(), 51);
         assert_eq!(run.num_supersteps(), 3);
         assert_eq!(run.total_syncs(), 12);
         assert_eq!(run.total_skipped_syncs(), 18);
+        assert_eq!(run.total_scatter_ops(), 21);
+        assert_eq!(run.total_skipped_scatters(), 6);
+        assert_eq!(run.total_routed_messages(), 15);
+        assert_eq!(run.total_active_vertices(), 30);
         assert!(run.total_simulated_seconds() > 0.0);
         assert!(run.seconds_per_superstep() > 0.0);
         assert!(run.total_cpu_seconds(&model) > 0.0);
@@ -479,6 +523,7 @@ mod tests {
         run.supersteps.push(SuperstepMetrics {
             superstep: 0,
             active_vertices: 10,
+            routed_messages: 0,
             network: net,
             work,
             simulated_seconds: simulated,

@@ -127,11 +127,25 @@ pub trait VertexProgram: Send + Sync {
 
     /// Whether the vertex should run scatter this superstep given its freshly applied
     /// state. Returning `false` skips synchronization and scatter entirely for this
-    /// vertex (saving the associated network traffic), which is how a converged
-    /// PageRank vertex goes quiet.
+    /// vertex (saving the associated network traffic). Use this for *structural*
+    /// conditions ("no live walkers left"); for convergence gating, implement
+    /// [`VertexProgram::delta`] and let the executor compare it against its tolerance.
     #[allow(unused_variables)]
     fn needs_scatter(&self, vertex: VertexId, state: &Self::State) -> bool {
         true
+    }
+
+    /// How much the vertex state changed during the last apply, as a non-negative
+    /// magnitude the executor compares against its configured `tolerance`: a vertex
+    /// whose delta is `<= tolerance` skips synchronization and scatter this superstep
+    /// and drops out of the frontier (the delta-gating idiom of production PageRank
+    /// implementations).
+    ///
+    /// The default returns `f64::INFINITY`, which is never `<=` any finite tolerance,
+    /// so programs that do not opt in are never gated and behave exactly as before.
+    #[allow(unused_variables)]
+    fn delta(&self, old: &Self::State, new: &Self::State) -> f64 {
+        f64::INFINITY
     }
 
     /// Scatter executed once per participating replica of an active vertex.
@@ -220,5 +234,14 @@ mod tests {
         assert_eq!(p.gather_direction(), EdgeDirection::None);
         assert!(p.gather_edge(0, 1, &0, &0, 3).is_none());
         assert!(p.needs_scatter(0, &0));
+    }
+
+    #[test]
+    fn default_delta_is_infinite_so_gating_never_triggers() {
+        let p = Noop;
+        let d = p.delta(&0, &7);
+        assert_eq!(d, f64::INFINITY);
+        // Never `<=` any finite tolerance, however large.
+        assert!(d > 1e300);
     }
 }
