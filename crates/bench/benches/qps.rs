@@ -1,0 +1,73 @@
+//! Serving-throughput microbenchmarks: the concurrent front-end draining a mixed
+//! query stream, against the serial reference path — the end-to-end numbers behind
+//! the QPS figure, at Criterion precision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use frogwild::prelude::*;
+use frogwild::serve::ServeConfig;
+use frogwild::session::PprMethod;
+use frogwild_graph::generators::twitter_like;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A mixed top-k / personalized stream; the front-end re-roots every seed anyway.
+fn stream(count: usize, vertices: u64) -> Vec<Query> {
+    (0..count)
+        .map(|i| {
+            if i % 4 == 0 {
+                Query::TopK {
+                    k: 20,
+                    config: FrogWildConfig {
+                        num_walkers: 4_000,
+                        iterations: 3,
+                        sync_probability: 0.7,
+                        ..FrogWildConfig::default()
+                    },
+                }
+            } else {
+                Query::Ppr {
+                    source: ((i as u64 * 31) % vertices) as VertexId,
+                    k: 20,
+                    teleport_probability: 0.15,
+                    method: PprMethod::MonteCarlo {
+                        walkers: 2_000,
+                        max_steps: 32,
+                        seed: 0,
+                    },
+                }
+            }
+        })
+        .collect()
+}
+
+fn bench_qps(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let graph = twitter_like(3_000, &mut rng);
+    let queries = stream(40, graph.num_vertices() as u64);
+    let mut session = Session::builder(&graph)
+        .machines(8)
+        .seed(17)
+        .walk_index(WalkIndexConfig::default())
+        .build()
+        .expect("valid bench configuration");
+
+    let mut group = c.benchmark_group("qps");
+    group.sample_size(10);
+    group.bench_function("serial_40_query_stream", |b| {
+        b.iter(|| black_box(session.serve().serve_serial(&queries)))
+    });
+    for workers in [1usize, 2, 8] {
+        group.bench_function(format!("pool_{workers}_workers_40_query_stream"), |b| {
+            b.iter(|| {
+                let mut handle = session
+                    .serve_with(ServeConfig::with_workers(workers))
+                    .expect("valid bench configuration");
+                black_box(handle.serve(&queries))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qps);
+criterion_main!(benches);

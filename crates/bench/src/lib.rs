@@ -66,6 +66,9 @@ pub fn run_figures(names: &[String], scale: &Scale) -> Vec<frogwild::report::Tab
     if wants("walkindex") {
         tables.extend(figures::walkindex::run(scale));
     }
+    if wants("qps") {
+        tables.extend(figures::qps::run(scale));
+    }
     tables
 }
 

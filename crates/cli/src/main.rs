@@ -17,6 +17,7 @@
 //!     autotune   self-tuning top-k: pilot run → walker plan → full run
 //!     pagerank   run the GraphLab-style PageRank baseline on the simulated cluster
 //!     ppr        personalized PageRank from a source vertex (push / exact / mc)
+//!     serve      run a mixed query stream through the concurrent serving front-end
 //!     index      build a walk index and report its economics (optionally probe it)
 //!     plan       walker-budget planning for a target top-k accuracy
 //!     stats      print basic structural statistics of an edge-list graph
@@ -29,6 +30,16 @@
 //!     --machines <n>        simulated cluster size                  [default: 16]
 //!     --partitioner <p>     random|grid|oblivious|hdrf|hybrid       [default: oblivious]
 //!     --seed <n>            random seed                             [default: 42]
+//!     --verbose             print the per-query cost audit (QueryCost) to stderr
+//!
+//! SERVING OPTIONS (serve subcommand; also honoured by topk --repeat sessions):
+//!     --serve-workers <n>   worker threads in the serving pool (0 = auto) [default: 0]
+//!     --queue-depth <n>     bounded submission queue capacity, in batches [default: 64]
+//!     --serve-batch <n>     queries per submitted batch                   [default: 4]
+//!     --admission <p>       block | reject | timeout                      [default: block]
+//!     --admission-timeout-ms <n>  wait bound for --admission timeout      [default: 100]
+//!     --queries <n>         queries in the generated mixed stream (serve) [default: 100]
+//!     --serial              serve on the calling thread (reference path)
 //!
 //! WALK-INDEX OPTIONS (enable with --walk-index on topk/ppr; implicit for index):
 //!     --walk-index                     precompute a walk index at session build
@@ -107,6 +118,7 @@ fn main() -> ExitCode {
         "autotune" => cmd_autotune(&args),
         "pagerank" => cmd_pagerank(&args),
         "ppr" => cmd_ppr(&args),
+        "serve" => cmd_serve(&args),
         "index" => cmd_index(&args),
         "plan" => cmd_plan(&args),
         "stats" => cmd_stats(&args),
@@ -125,7 +137,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     println!(
         "frogwild — fast top-k PageRank approximation (FrogWild, VLDB 2015 reproduction)\n\n\
-         usage: frogwild <topk|autotune|pagerank|ppr|index|plan|stats|generate> [options]\n\
+         usage: frogwild <topk|autotune|pagerank|ppr|serve|index|plan|stats|generate> [options]\n\
          \n\
          Ranking commands build one Session (the graph is partitioned once) and serve\n\
          typed queries against it; repeated queries amortize the partitioning cost.\n\
@@ -141,6 +153,8 @@ fn print_usage() {
          autotune: --k N --loss E --delta D --ps P [--pilot-walkers N]\n\
          pagerank: --iterations N | --exact [--tolerance T]\n\
          ppr:      --source V [--method push|exact|mc] [--epsilon E] [--k N]\n\
+         serve:    --queries N --serve-workers N --queue-depth N --serve-batch N\n\
+         \u{20}          [--admission block|reject|timeout] [--admission-timeout-ms N] [--serial]\n\
          index:    [--probe N] (walk-index options above; builds and reports the index)\n\
          plan:     --k N --vertices N --mass M --loss E --delta D\n\
          generate: --kind twitter|livejournal --vertices N --out <path>\n\
@@ -236,6 +250,31 @@ fn walk_index_config(args: &Args) -> Result<Option<WalkIndexConfig>> {
     walk_index_values(args).map(Some)
 }
 
+/// The `--serve-*` / `--admission*` options parsed into a [`ServeConfig`].
+fn serve_config_from(args: &Args) -> Result<ServeConfig> {
+    let base = ServeConfig::default();
+    let admission = match args.get("admission").unwrap_or("block") {
+        "block" => Admission::Block,
+        "reject" => Admission::Reject,
+        "timeout" => {
+            let ms: u64 = args.get_parsed("admission-timeout-ms", 100, "milliseconds")?;
+            Admission::Timeout(std::time::Duration::from_millis(ms))
+        }
+        other => {
+            return Err(Error::config(
+                "command line",
+                format!("unknown admission policy {other:?} (expected block, reject or timeout)"),
+            ))
+        }
+    };
+    Ok(ServeConfig {
+        workers: args.get_parsed("serve-workers", base.workers, "an integer")?,
+        queue_depth: args.get_parsed("queue-depth", base.queue_depth, "an integer")?,
+        batch: args.get_parsed("serve-batch", base.batch, "an integer")?,
+        admission,
+    })
+}
+
 /// Builds the session shared by all ranking subcommands. `allow_index` is set by the
 /// subcommands whose queries can actually be served from a walk index (topk, ppr);
 /// the engine-only subcommands skip the build and say so, instead of silently paying
@@ -253,7 +292,8 @@ fn session_over<'g>(args: &Args, graph: &'g DiGraph, allow_index: bool) -> Resul
         .machines(machines)
         .partitioner(partitioner)
         .seed(seed)
-        .scheduling(Scheduling::with_workers(workers));
+        .scheduling(Scheduling::with_workers(workers))
+        .serve_config(serve_config_from(args)?);
     if let Some(config) = walk_index_config(args)? {
         if allow_index {
             builder = builder.walk_index(config);
@@ -292,6 +332,14 @@ fn print_response_header(session: &Session<'_>, response: &Response) {
         response.cost.simulated_seconds,
         response.cost.repartitioned,
     );
+}
+
+/// Under `--verbose`, prints the per-query cost audit (`QueryCost`'s `Display`)
+/// to stderr so the stdout CSV stays machine-readable.
+fn print_verbose_cost(args: &Args, response: &Response) {
+    if args.has_flag("verbose") {
+        eprintln!("{}", response.cost);
+    }
 }
 
 fn print_ranking(response: &Response, score_label: &str) {
@@ -339,6 +387,7 @@ fn cmd_topk(args: &Args) -> Result<()> {
     }
     let response = last.expect("repeat >= 1");
     print_response_header(&session, &response);
+    print_verbose_cost(args, &response);
     print_ranking(&response, "estimated_mass");
     print_session_stats(&session);
     Ok(())
@@ -361,6 +410,7 @@ fn cmd_pagerank(args: &Args) -> Result<()> {
 
     let response = session.query(&Query::Pagerank { k, config })?;
     print_response_header(&session, &response);
+    print_verbose_cost(args, &response);
     print_ranking(&response, "score");
     print_session_stats(&session);
     Ok(())
@@ -395,6 +445,7 @@ fn cmd_autotune(args: &Args) -> Result<()> {
         );
     }
     print_response_header(&session, &response);
+    print_verbose_cost(args, &response);
     print_ranking(&response, "estimated_mass");
     print_session_stats(&session);
     Ok(())
@@ -484,7 +535,102 @@ fn cmd_ppr(args: &Args) -> Result<()> {
         );
     }
     println!("# {}", response.algorithm);
+    print_verbose_cost(args, &response);
     print_ranking(&response, "ppr");
+    Ok(())
+}
+
+/// Generates a deterministic mixed TopK/PPR stream sized by `--queries`, shaped to
+/// exercise both the engine path and (when `--walk-index` is set) the index path.
+fn serve_stream(args: &Args, graph: &DiGraph) -> Result<Vec<Query>> {
+    let count: usize = args.get_parsed("queries", 100usize, "an integer")?;
+    if count == 0 {
+        return Err(Error::config(
+            "command line",
+            "--queries must be at least 1",
+        ));
+    }
+    let k: usize = args.get_parsed("k", 20, "an integer")?;
+    let topk_config = FrogWildConfig {
+        num_walkers: args.get_parsed("walkers", 20_000u64, "an integer")?,
+        iterations: args.get_parsed("iterations", 3usize, "an integer")?,
+        sync_probability: args.get_parsed("ps", 0.7f64, "a probability in (0, 1]")?,
+        ..FrogWildConfig::default()
+    };
+    topk_config.validate()?;
+    let vertices = graph.num_vertices() as u64;
+    // 1-in-4 global top-k, the rest PPR from a rotating source — roughly the mix a
+    // front-end sees (a few dashboards, many per-user queries). The per-query seeds
+    // placed here are irrelevant: the serving front-end re-roots them by sequence id.
+    Ok((0..count)
+        .map(|i| {
+            if i % 4 == 0 {
+                Query::TopK {
+                    k,
+                    config: topk_config,
+                }
+            } else {
+                Query::Ppr {
+                    source: ((i as u64 * 31) % vertices) as VertexId,
+                    k,
+                    teleport_probability: 0.15,
+                    method: PprMethod::MonteCarlo {
+                        walkers: 2_000,
+                        max_steps: 32,
+                        seed: 0,
+                    },
+                }
+            }
+        })
+        .collect())
+}
+
+fn cmd_serve(args: &Args) -> Result<()> {
+    let graph = load_graph(args)?;
+    let queries = serve_stream(args, &graph)?;
+    let mut session = session_over(args, &graph, true)?;
+    let mut handle = session.serve();
+    let report = if args.has_flag("serial") {
+        handle.serve_serial(&queries)
+    } else {
+        handle.serve(&queries)
+    };
+    eprintln!("{report}");
+
+    println!("quantity,value");
+    println!("queries,{}", queries.len());
+    println!("workers,{}", report.workers.len());
+    println!("served,{}", report.served);
+    println!("rejected,{}", report.rejected);
+    println!("failed,{}", report.failed);
+    println!("wall_seconds,{:.6}", report.wall_seconds);
+    println!("query_seconds,{:.6}", report.query_seconds);
+    println!("qps,{:.2}", report.qps());
+    for kind in frogwild::serve::QUERY_KINDS {
+        let h = report.latency.histogram(kind);
+        if h.count() == 0 {
+            continue;
+        }
+        let label = kind.label();
+        println!("{label}_served,{}", h.count());
+        println!("{label}_mean_ms,{:.3}", h.mean_seconds() * 1e3);
+        println!("{label}_p50_ms,{:.3}", h.p50() * 1e3);
+        println!("{label}_p95_ms,{:.3}", h.p95() * 1e3);
+        println!("{label}_p99_ms,{:.3}", h.p99() * 1e3);
+    }
+    println!("worker,served,failed,batches,busy_seconds,queue_wait_seconds");
+    for w in &report.workers {
+        println!(
+            "{},{},{},{},{:.6},{:.6}",
+            w.worker, w.served, w.failed, w.batches, w.busy_seconds, w.queue_wait_seconds
+        );
+    }
+    if args.has_flag("verbose") {
+        if let Some(response) = report.responses().next() {
+            eprintln!("{}", response.cost);
+        }
+    }
+    print_session_stats(&session);
     Ok(())
 }
 

@@ -86,6 +86,10 @@
 //!   walk segments once (in parallel across the simulated machines), then serve PPR and
 //!   top-k queries by stitching cached segments instead of fresh Monte-Carlo walks.
 //!   Plugged into the session via `SessionBuilder::walk_index`.
+//! * [`serve`] — the concurrent serving front-end: a fixed worker pool drains a bounded
+//!   admission queue over a shared session, with per-kind latency histograms
+//!   (p50/p95/p99) and deterministic per-query seeding so any worker count returns
+//!   bit-identical responses. Entered via `Session::serve`.
 //! * [`driver`] — the low-level experiment drivers underneath the session; they return
 //!   a [`driver::RunReport`] with raw engine metrics for the benchmark harness.
 //! * [`report`] — tiny CSV/markdown writers for the figure harness.
@@ -127,6 +131,7 @@ pub mod programs;
 pub mod rank_metrics;
 pub mod reference;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod sparsify;
 pub mod theory;
@@ -147,6 +152,10 @@ pub mod prelude {
     pub use crate::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
     pub use crate::rank_metrics::{kendall_tau_top_k, ndcg_at_k};
     pub use crate::reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};
+    pub use crate::serve::{
+        Admission, LatencyHistogram, LatencyStats, QueryKind, QueryOutcome, ServeConfig,
+        ServeHandle, ServeReport, WorkerStats,
+    };
     pub use crate::session::{
         serve_ppr, PprMethod, Query, QueryCost, Response, ResponseDetail, Session, SessionBuilder,
         SessionStats,
@@ -162,6 +171,7 @@ pub use config::{FrogWildConfig, PageRankConfig, Scheduling};
 pub use error::{Error, Result};
 pub use metrics::{exact_identification, mass_captured, MassCaptured};
 pub use reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};
+pub use serve::{Admission, ServeConfig, ServeHandle, ServeReport};
 pub use session::{Query, Response, Session};
 pub use topk::top_k;
 

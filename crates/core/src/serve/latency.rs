@@ -1,0 +1,324 @@
+//! Fixed-bucket latency histograms and per-query-kind percentile telemetry.
+//!
+//! Serving systems report latency as *percentiles over a histogram*, not as means:
+//! a mean hides the tail that overloaded queues produce. The histogram here is the
+//! standard fixed-layout exponential design (HdrHistogram's coarse cousin): bucket
+//! `i` covers latencies in `[2^(i-1), 2^i)` microseconds, so 32 buckets span 1 µs to
+//! ~35 minutes with ≤2x relative error per bucket. A fixed layout keeps the type
+//! `Copy`, makes merging two histograms a bucket-wise add, and costs O(1) per
+//! recording — cheap enough to sit on every query path.
+
+/// Number of exponential buckets; bucket `i` covers `[2^(i-1), 2^i)` microseconds.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A fixed-bucket exponential latency histogram.
+///
+/// Recording is O(1); quantile extraction walks the 32 buckets and reports the
+/// *upper edge* of the bucket holding the requested rank, so a reported percentile
+/// is a conservative (never optimistic) bound within 2x of the true value.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_seconds: f64,
+    max_seconds: f64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, seconds: f64) {
+        let micros = (seconds.max(0.0) * 1e6) as u64;
+        let index = (u64::BITS - micros.leading_zeros()) as usize;
+        self.buckets[index.min(LATENCY_BUCKETS - 1)] += 1;
+        self.count = self.count.saturating_add(1);
+        self.sum_seconds += seconds.max(0.0);
+        self.max_seconds = self.max_seconds.max(seconds);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_seconds
+    }
+
+    /// Largest latency recorded, in seconds (zero when empty).
+    pub fn max_seconds(&self) -> f64 {
+        self.max_seconds
+    }
+
+    /// Mean latency in seconds (zero when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_seconds / self.count as f64
+        }
+    }
+
+    /// The latency at quantile `q` ∈ [0, 1], in seconds: the upper edge of the bucket
+    /// containing the `ceil(q · count)`-th observation. Zero when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if index == LATENCY_BUCKETS - 1 {
+                    // The top bucket is open-ended; the recorded max is its only
+                    // honest upper bound.
+                    return self.max_seconds;
+                }
+                // Upper edge of bucket i is 2^i microseconds. The true maximum is a
+                // tighter bound when every observation sits below the edge.
+                let edge = (1u64 << index) as f64 * 1e-6;
+                return edge.min(self.max_seconds);
+            }
+        }
+        self.max_seconds
+    }
+
+    /// Median latency (upper-edge bound), in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency (upper-edge bound), in seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency (upper-edge bound), in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise; counts saturate).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_seconds += other.sum_seconds;
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+    }
+}
+
+/// The kind of a [`Query`](crate::session::Query), used to key per-kind telemetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// A `Query::TopK`.
+    TopK,
+    /// A `Query::Pagerank`.
+    Pagerank,
+    /// A `Query::Ppr`.
+    Ppr,
+    /// A `Query::AutotunedTopK`.
+    AutotunedTopK,
+}
+
+/// All query kinds, in the order [`LatencyStats`] stores them.
+pub const QUERY_KINDS: [QueryKind; 4] = [
+    QueryKind::TopK,
+    QueryKind::Pagerank,
+    QueryKind::Ppr,
+    QueryKind::AutotunedTopK,
+];
+
+impl QueryKind {
+    /// Short human-readable label (`"topk"`, `"pagerank"`, `"ppr"`, `"autotuned"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryKind::TopK => "topk",
+            QueryKind::Pagerank => "pagerank",
+            QueryKind::Ppr => "ppr",
+            QueryKind::AutotunedTopK => "autotuned",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            QueryKind::TopK => 0,
+            QueryKind::Pagerank => 1,
+            QueryKind::Ppr => 2,
+            QueryKind::AutotunedTopK => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One [`LatencyHistogram`] per query kind — the latency telemetry a
+/// [`Session`](crate::session::Session) accumulates over everything it serves.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    per_kind: [LatencyHistogram; 4],
+}
+
+impl LatencyStats {
+    /// Records one served query's latency under its kind.
+    pub fn record(&mut self, kind: QueryKind, seconds: f64) {
+        self.per_kind[kind.index()].record(seconds);
+    }
+
+    /// The histogram for one query kind.
+    pub fn histogram(&self, kind: QueryKind) -> &LatencyHistogram {
+        &self.per_kind[kind.index()]
+    }
+
+    /// All kinds merged into one histogram.
+    pub fn overall(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::default();
+        for h in &self.per_kind {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// Total observations across all kinds.
+    pub fn count(&self) -> u64 {
+        self.per_kind.iter().map(|h| h.count()).sum()
+    }
+
+    /// Merges another set of per-kind histograms into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        for (h, o) in self.per_kind.iter_mut().zip(&other.per_kind) {
+            h.merge(o);
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    /// One line per non-empty kind: count, mean, and the p50/p95/p99 bounds.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut any = false;
+        for kind in QUERY_KINDS {
+            let h = self.histogram(kind);
+            if h.count() == 0 {
+                continue;
+            }
+            if any {
+                writeln!(f)?;
+            }
+            any = true;
+            write!(
+                f,
+                "{}: {} served, mean {:.3}ms, p50 {:.3}ms, p95 {:.3}ms, p99 {:.3}ms",
+                kind.label(),
+                h.count(),
+                h.mean_seconds() * 1e3,
+                h.p50() * 1e3,
+                h.p95() * 1e3,
+                h.p99() * 1e3,
+            )?;
+        }
+        if !any {
+            write!(f, "no queries recorded")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.mean_seconds(), 0.0);
+        assert_eq!(h.max_seconds(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_observations_within_a_bucket() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(1e-3); // 1ms
+        }
+        h.record(1.0); // one 1s outlier
+        assert_eq!(h.count(), 100);
+        // p50 must bound 1ms from above within one bucket (2x).
+        assert!(h.p50() >= 1e-3 && h.p50() <= 2.1e-3, "p50={}", h.p50());
+        // p99 lands on the last 1ms observation; p100 catches the outlier.
+        assert!(h.quantile(1.0) >= 1.0);
+        assert!((h.mean_seconds() - (0.099 + 1.0) / 100.0).abs() < 1e-9);
+        assert_eq!(h.max_seconds(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LatencyHistogram::default();
+        for i in 1..=1000u64 {
+            h.record(i as f64 * 1e-5);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
+        for w in qs.windows(2) {
+            assert!(h.quantile(w[0]) <= h.quantile(w[1]), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_into_the_edge_buckets() {
+        let mut h = LatencyHistogram::default();
+        h.record(0.0); // below 1µs → bucket 0
+        h.record(-1.0); // negative treated as zero, not a panic
+        h.record(1e9); // far beyond the top bucket edge
+        assert_eq!(h.count(), 3);
+        // The top observation is bounded by the recorded max, not the bucket edge.
+        assert_eq!(h.quantile(1.0), 1e9);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_the_max() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(1e-3);
+        b.record(2.0);
+        b.record(3e-3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_seconds(), 2.0);
+        assert!((a.sum_seconds() - (1e-3 + 2.0 + 3e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_stats_keys_by_kind_and_displays_percentiles() {
+        let mut stats = LatencyStats::default();
+        stats.record(QueryKind::TopK, 2e-3);
+        stats.record(QueryKind::TopK, 4e-3);
+        stats.record(QueryKind::Ppr, 1e-4);
+        assert_eq!(stats.histogram(QueryKind::TopK).count(), 2);
+        assert_eq!(stats.histogram(QueryKind::Ppr).count(), 1);
+        assert_eq!(stats.histogram(QueryKind::Pagerank).count(), 0);
+        assert_eq!(stats.count(), 3);
+        assert_eq!(stats.overall().count(), 3);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("topk: 2 served"));
+        assert!(rendered.contains("ppr: 1 served"));
+        assert!(rendered.contains("p99"));
+        assert!(!rendered.contains("pagerank"));
+        let empty = LatencyStats::default();
+        assert!(empty.to_string().contains("no queries recorded"));
+    }
+
+    #[test]
+    fn query_kind_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = QUERY_KINDS.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), QUERY_KINDS.len());
+        assert_eq!(QueryKind::TopK.to_string(), "topk");
+    }
+}

@@ -1,0 +1,200 @@
+//! The worker pool: a fixed set of threads draining the bounded submission queue.
+//!
+//! The shape mirrors the PR 6 executor: work is cut into contiguous batches, workers
+//! pull whole batches (amortizing queue synchronization over `batch` queries), and
+//! nothing mutable is shared — workers read the [`Session`] through a shared
+//! reference and report results over a channel, so there is no lock on the serving
+//! hot path. Determinism falls out of the seeding discipline: every query's
+//! randomness is derived from `(session seed, query sequence id)` *before* it is
+//! enqueued, so the answers are a pure function of the submitted stream no matter
+//! how many workers race over it — only completion order varies.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use crate::error::Result;
+use crate::session::{Query, Response, Session};
+
+use super::latency::LatencyStats;
+use super::queue::{AdmitError, Bounded};
+use super::{reseeded, seed_for, Admission, QueryOutcome, ServeConfig, ServeReport, WorkerStats};
+
+/// One unit of queue traffic: a contiguous run of `(position, sequence id, query)`
+/// triples, stamped with its submission instant so queue wait is measurable.
+struct Batch {
+    submitted: Instant,
+    items: Vec<(usize, u64, Query)>,
+}
+
+/// Runs `queries` through a fixed worker pool over `session` and collects every
+/// outcome in submission order.
+///
+/// The calling thread plays the admission controller: it cuts the stream into
+/// batches and submits them against the bounded queue under the configured
+/// [`Admission`] policy. Batches that the policy turns away are marked
+/// [`QueryOutcome::Rejected`] without ever reaching a worker — that is the explicit
+/// overload path; nothing is silently dropped and nothing is buffered beyond
+/// `queue_depth` batches.
+pub(super) fn run_stream(
+    session: &Session<'_>,
+    config: &ServeConfig,
+    start_seq: u64,
+    queries: &[Query],
+) -> ServeReport {
+    let session_seed = session.cluster().seed;
+    let workers = config.effective_workers();
+    let queue: Bounded<Batch> = Bounded::new(config.queue_depth);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, Result<Response>)>();
+    let mut outcomes: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
+    outcomes.resize_with(queries.len(), || None);
+
+    let started = Instant::now();
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let queue = &queue;
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let tx = result_tx.clone();
+                scope.spawn(move || {
+                    let mut stats = WorkerStats {
+                        worker,
+                        ..WorkerStats::default()
+                    };
+                    while let Some(batch) = queue.pop() {
+                        stats.queue_wait_seconds += batch.submitted.elapsed().as_secs_f64();
+                        stats.batches += 1;
+                        for (position, seq, query) in batch.items {
+                            let seeded = reseeded(&query, seed_for(session_seed, seq));
+                            let busy = Instant::now();
+                            let result = session.execute(&seeded);
+                            stats.busy_seconds += busy.elapsed().as_secs_f64();
+                            match &result {
+                                Ok(_) => stats.served += 1,
+                                Err(_) => stats.failed += 1,
+                            }
+                            // The receiver outlives every worker; a send can only
+                            // fail if the collector already gave up, in which case
+                            // dropping the result is the right thing.
+                            let _ = tx.send((position, result));
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        drop(result_tx);
+
+        // Admission control on the calling thread: batch, then submit under the
+        // configured policy. `push` can only fail here via `Closed`, which cannot
+        // happen before the close below — treat it like a rejection regardless.
+        for (batch_index, chunk) in queries.chunks(config.batch.max(1)).enumerate() {
+            let base = batch_index * config.batch.max(1);
+            let items: Vec<(usize, u64, Query)> = chunk
+                .iter()
+                .enumerate()
+                .map(|(offset, query)| {
+                    let position = base + offset;
+                    (position, start_seq + position as u64, query.clone())
+                })
+                .collect();
+            let batch = Batch {
+                submitted: Instant::now(),
+                items,
+            };
+            let verdict = match config.admission {
+                Admission::Block => queue.push(batch),
+                Admission::Reject => queue.try_push(batch),
+                Admission::Timeout(limit) => queue.push_timeout(batch, limit),
+            };
+            if let Err(AdmitError::Full(batch) | AdmitError::Closed(batch)) = verdict {
+                for (position, _, _) in batch.items {
+                    outcomes[position] = Some(QueryOutcome::Rejected);
+                }
+            }
+        }
+        queue.close();
+
+        // Collect results while workers finish draining; the channel ends once the
+        // last worker drops its sender.
+        for (position, result) in result_rx {
+            outcomes[position] = Some(match result {
+                Ok(response) => QueryOutcome::Served(Box::new(response)),
+                Err(error) => QueryOutcome::Failed(error),
+            });
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let outcomes: Vec<QueryOutcome> = outcomes
+        .into_iter()
+        .map(|slot| slot.expect("every submitted query has an outcome"))
+        .collect();
+    finish_report(outcomes, worker_stats, wall_seconds)
+}
+
+/// Serves `queries` on the calling thread, in submission order, under the *same*
+/// `(session seed, sequence id)` seeding as the pool — the serial reference path the
+/// concurrent results are pinned against.
+pub(super) fn run_serial(session: &Session<'_>, start_seq: u64, queries: &[Query]) -> ServeReport {
+    let session_seed = session.cluster().seed;
+    let started = Instant::now();
+    let mut stats = WorkerStats::default();
+    let outcomes: Vec<QueryOutcome> = queries
+        .iter()
+        .enumerate()
+        .map(|(position, query)| {
+            let seeded = reseeded(query, seed_for(session_seed, start_seq + position as u64));
+            let busy = Instant::now();
+            let result = session.execute(&seeded);
+            stats.busy_seconds += busy.elapsed().as_secs_f64();
+            match result {
+                Ok(response) => {
+                    stats.served += 1;
+                    QueryOutcome::Served(Box::new(response))
+                }
+                Err(error) => {
+                    stats.failed += 1;
+                    QueryOutcome::Failed(error)
+                }
+            }
+        })
+        .collect();
+    stats.batches = queries.len() as u64;
+    let wall_seconds = started.elapsed().as_secs_f64();
+    finish_report(outcomes, vec![stats], wall_seconds)
+}
+
+/// Folds per-query outcomes and per-worker counters into a [`ServeReport`].
+fn finish_report(
+    outcomes: Vec<QueryOutcome>,
+    workers: Vec<WorkerStats>,
+    wall_seconds: f64,
+) -> ServeReport {
+    let mut latency = LatencyStats::default();
+    let (mut served, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+    let mut query_seconds = 0.0;
+    for outcome in &outcomes {
+        match outcome {
+            QueryOutcome::Served(response) => {
+                served += 1;
+                query_seconds += response.cost.host_seconds;
+                latency.record(response.kind(), response.cost.host_seconds);
+            }
+            QueryOutcome::Rejected => rejected += 1,
+            QueryOutcome::Failed(_) => failed += 1,
+        }
+    }
+    ServeReport {
+        outcomes,
+        served,
+        rejected,
+        failed,
+        wall_seconds,
+        query_seconds,
+        latency,
+        workers,
+    }
+}

@@ -62,6 +62,7 @@ use crate::error::{Error, Result};
 use crate::ppr::{
     forward_push_ppr, monte_carlo_ppr_counted, personalized_pagerank, single_source_restart,
 };
+use crate::serve::{LatencyStats, QueryKind, ServeConfig, ServeHandle, ServeReport};
 use crate::walkindex::{
     build_walk_index, indexed_pagerank, indexed_ppr, IndexServeStats, WalkIndex,
     WalkIndexBuildReport, WalkIndexConfig,
@@ -78,6 +79,7 @@ pub struct SessionBuilder<'g> {
     partitioner: PartitionerKind,
     seed: u64,
     scheduling: Scheduling,
+    serve: ServeConfig,
     walk_index: Option<WalkIndexConfig>,
 }
 
@@ -107,6 +109,14 @@ impl<'g> SessionBuilder<'g> {
     /// the pool automatically.
     pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
         self.scheduling = scheduling;
+        self
+    }
+
+    /// Default [`ServeConfig`] for the concurrent serving front-end the session
+    /// hands out via [`Session::serve`] — pool size, submission-queue bound, batch
+    /// size, and the overload [`Admission`](crate::serve::Admission) policy.
+    pub fn serve_config(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
         self
     }
 
@@ -154,6 +164,7 @@ impl<'g> SessionBuilder<'g> {
         if self.graph.num_vertices() == 0 {
             return Err(Error::graph("cannot build a session over an empty graph"));
         }
+        self.serve.validate()?;
         let cluster = ClusterConfig::new(self.machines, self.seed);
         let started = Instant::now();
         let pg = PartitionedGraph::build(self.graph, self.machines, &self.partitioner, self.seed);
@@ -177,9 +188,11 @@ impl<'g> SessionBuilder<'g> {
             cluster,
             partitioner: self.partitioner,
             scheduling: self.scheduling,
+            serve_config: self.serve,
             index,
             stats: SessionStats {
                 queries_served: 0,
+                queries_rejected: 0,
                 partition_seconds,
                 replication_factor,
                 index_build_seconds,
@@ -188,6 +201,7 @@ impl<'g> SessionBuilder<'g> {
                 total_simulated_seconds: 0.0,
                 total_cpu_seconds: 0.0,
                 total_host_seconds: 0.0,
+                total_wall_seconds: 0.0,
                 total_push_ops: 0,
                 total_walk_hops: 0,
                 total_index_hits: 0,
@@ -195,6 +209,7 @@ impl<'g> SessionBuilder<'g> {
                 total_active_vertices: 0,
                 total_skipped_scatters: 0,
                 total_routed_messages: 0,
+                latency: LatencyStats::default(),
             },
         })
     }
@@ -275,6 +290,16 @@ impl Query {
         match self {
             Query::TopK { k, .. } | Query::Pagerank { k, .. } | Query::Ppr { k, .. } => *k,
             Query::AutotunedTopK { config } => config.k,
+        }
+    }
+
+    /// The [`QueryKind`] keying this query's latency telemetry.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::TopK { .. } => QueryKind::TopK,
+            Query::Pagerank { .. } => QueryKind::Pagerank,
+            Query::Ppr { .. } => QueryKind::Ppr,
+            Query::AutotunedTopK { .. } => QueryKind::AutotunedTopK,
         }
     }
 }
@@ -388,6 +413,49 @@ impl QueryCost {
             ..QueryCost::default()
         }
     }
+
+    /// Which path answered the query: `"index"`, `"engine"` or `"serial"`.
+    pub fn served_by(&self) -> &'static str {
+        if self.index_served {
+            "index"
+        } else if self.supersteps > 0 {
+            "engine"
+        } else {
+            "serial"
+        }
+    }
+}
+
+impl std::fmt::Display for QueryCost {
+    /// A compact per-query cost audit, mirroring the cumulative
+    /// [`SessionStats`] display at single-query granularity.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cost: {}-served, {:.3}ms host",
+            self.served_by(),
+            self.host_seconds * 1e3
+        )?;
+        writeln!(
+            f,
+            "  work: {} push ops, {} walk hops, {} index hits / {} misses",
+            self.push_ops, self.walk_hops, self.index_hits, self.index_misses
+        )?;
+        writeln!(
+            f,
+            "  engine: {} supersteps, {} active vertices, {} skipped scatters, \
+             {} routed messages",
+            self.supersteps, self.active_vertices, self.skipped_scatters, self.routed_messages
+        )?;
+        write!(
+            f,
+            "  network: {} bytes, {} messages; simulated {:.4}s wall, {:.4}s cpu",
+            self.network_bytes,
+            self.network_messages,
+            self.simulated_seconds,
+            self.simulated_cpu_seconds
+        )
+    }
 }
 
 /// Variant-specific details of a [`Response`].
@@ -445,6 +513,17 @@ impl Response {
     pub fn top_vertices(&self) -> Vec<VertexId> {
         self.ranking.iter().map(|&(v, _)| v).collect()
     }
+
+    /// The [`QueryKind`] of the query this response answered (derived from the
+    /// detail variant, which maps one-to-one onto the query variants).
+    pub fn kind(&self) -> QueryKind {
+        match self.detail {
+            ResponseDetail::TopK => QueryKind::TopK,
+            ResponseDetail::Pagerank => QueryKind::Pagerank,
+            ResponseDetail::Ppr { .. } => QueryKind::Ppr,
+            ResponseDetail::AutotunedTopK { .. } => QueryKind::AutotunedTopK,
+        }
+    }
 }
 
 /// Cumulative cost of everything a [`Session`] has served.
@@ -456,6 +535,10 @@ impl Response {
 pub struct SessionStats {
     /// Queries answered so far.
     pub queries_served: u64,
+    /// Queries the serving front-end's admission control turned away (always zero
+    /// for direct [`Session::query`] calls — only [`Session::serve`] streams can
+    /// reject).
+    pub queries_rejected: u64,
     /// Host seconds the one-time partitioning took.
     pub partition_seconds: f64,
     /// Replication factor of the session's vertex-cut.
@@ -470,8 +553,17 @@ pub struct SessionStats {
     pub total_simulated_seconds: f64,
     /// Total simulated CPU seconds over all queries.
     pub total_cpu_seconds: f64,
-    /// Total host seconds spent answering queries (excludes partitioning).
+    /// Total host seconds spent answering queries, summed **per query** (excludes
+    /// partitioning). When queries complete concurrently this exceeds the real
+    /// elapsed time — that is service time, not wall time; see
+    /// [`total_wall_seconds`](SessionStats::total_wall_seconds).
     pub total_host_seconds: f64,
+    /// Real elapsed wall-clock seconds spent inside [`Session::query`] and
+    /// [`Session::serve`] streams. For serial queries this tracks
+    /// `total_host_seconds`; for concurrent streams it is the stream's elapsed
+    /// time, so `total_host_seconds / total_wall_seconds` is the pool's effective
+    /// concurrency.
+    pub total_wall_seconds: f64,
     /// Total forward-push operations over all queries.
     pub total_push_ops: u64,
     /// Total walk hops (fresh or stitched) over all queries.
@@ -486,6 +578,9 @@ pub struct SessionStats {
     pub total_skipped_scatters: u64,
     /// Total post-combining message deliveries routed by the engine.
     pub total_routed_messages: u64,
+    /// Per-query-kind latency histograms (service time) with p50/p95/p99, fed by
+    /// every served query — serial or pooled.
+    pub latency: LatencyStats,
 }
 
 impl SessionStats {
@@ -508,6 +603,17 @@ impl SessionStats {
         }
     }
 
+    /// Ratio of summed per-query service time to real elapsed serving time: ≈1 for
+    /// a serial session, approaches the worker count for a saturated serving pool,
+    /// and 0 before anything was served.
+    pub fn effective_concurrency(&self) -> f64 {
+        if self.total_wall_seconds > 0.0 {
+            self.total_host_seconds / self.total_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
     /// Fraction of all segment requests served from the index (1.0 when no segment
     /// was ever requested).
     pub fn index_hit_rate(&self) -> f64 {
@@ -527,8 +633,8 @@ impl std::fmt::Display for SessionStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "session: {} queries served ({} index-served)",
-            self.queries_served, self.index_served_queries
+            "session: {} queries served ({} index-served), {} rejected by admission control",
+            self.queries_served, self.index_served_queries, self.queries_rejected
         )?;
         writeln!(
             f,
@@ -554,7 +660,7 @@ impl std::fmt::Display for SessionStats {
              {} scatters skipped by the delta gate, {} messages routed",
             self.total_active_vertices, self.total_skipped_scatters, self.total_routed_messages
         )?;
-        write!(
+        writeln!(
             f,
             "  totals: {} network bytes, {:.4}s simulated, {:.4}s simulated CPU, \
              {:.4}s host, {} push ops, {} walk hops",
@@ -564,7 +670,25 @@ impl std::fmt::Display for SessionStats {
             self.total_host_seconds,
             self.total_push_ops,
             self.total_walk_hops
-        )
+        )?;
+        writeln!(
+            f,
+            "  serving: {:.4}s wall, effective concurrency {:.2}",
+            self.total_wall_seconds,
+            self.effective_concurrency()
+        )?;
+        if self.latency.count() > 0 {
+            let indented = self
+                .latency
+                .to_string()
+                .lines()
+                .map(|line| format!("    {line}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            write!(f, "  latency (service time):\n{indented}")
+        } else {
+            write!(f, "  latency (service time): nothing served yet")
+        }
     }
 }
 
@@ -587,6 +711,7 @@ pub struct Session<'g> {
     cluster: ClusterConfig,
     partitioner: PartitionerKind,
     scheduling: Scheduling,
+    serve_config: ServeConfig,
     index: Option<SessionIndex>,
     stats: SessionStats,
 }
@@ -600,6 +725,7 @@ impl<'g> Session<'g> {
             partitioner: PartitionerKind::default(),
             seed: 0x5EED_F20C,
             scheduling: Scheduling::default(),
+            serve: ServeConfig::default(),
             walk_index: None,
         }
     }
@@ -616,6 +742,41 @@ impl<'g> Session<'g> {
     /// * [`Error::Query`] when the query itself is malformed (zero `k`, source vertex
     ///   out of range).
     pub fn query(&mut self, query: &Query) -> Result<Response> {
+        let response = self.execute(query)?;
+        self.record_response(&response);
+        // A serial query occupies the caller for exactly its service time, so wall
+        // time and summed host time advance together on this path.
+        self.stats.total_wall_seconds += response.cost.host_seconds;
+        Ok(response)
+    }
+
+    /// Hands out the concurrent serving front-end under the builder-configured
+    /// [`ServeConfig`] (see [`SessionBuilder::serve_config`]).
+    ///
+    /// The returned [`ServeHandle`] shares the session's read-only state — graph,
+    /// partitioned layout, walk-index arena — across a fixed worker pool behind a
+    /// bounded, admission-controlled submission queue. Served streams fold into the
+    /// same cumulative [`SessionStats`] as serial queries.
+    pub fn serve(&mut self) -> ServeHandle<'_, 'g> {
+        let config = self.serve_config;
+        ServeHandle::new(self, config)
+    }
+
+    /// Like [`Session::serve`], but under an explicit [`ServeConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the config fails [`ServeConfig::validate`].
+    pub fn serve_with(&mut self, config: ServeConfig) -> Result<ServeHandle<'_, 'g>> {
+        config.validate()?;
+        Ok(ServeHandle::new(self, config))
+    }
+
+    /// Answers one query against the session's read-only state without touching the
+    /// cumulative stats — the `&self` serving core that both [`Session::query`] and
+    /// the concurrent front-end's workers run on (every field it reads is immutable
+    /// after `build()`, which is what makes the session shareable across a pool).
+    pub(crate) fn execute(&self, query: &Query) -> Result<Response> {
         if query.k() == 0 {
             return Err(Error::query("k must be positive"));
         }
@@ -667,22 +828,47 @@ impl<'g> Session<'g> {
                 response
             }
         };
-        self.stats.queries_served += 1;
-        self.stats.total_network_bytes += response.cost.network_bytes;
-        self.stats.total_simulated_seconds += response.cost.simulated_seconds;
-        self.stats.total_cpu_seconds += response.cost.simulated_cpu_seconds;
-        self.stats.total_host_seconds += response.cost.host_seconds;
-        self.stats.total_push_ops += response.cost.push_ops;
-        self.stats.total_walk_hops += response.cost.walk_hops;
-        self.stats.total_index_hits += response.cost.index_hits;
-        self.stats.total_index_misses += response.cost.index_misses;
-        self.stats.total_active_vertices += response.cost.active_vertices;
-        self.stats.total_skipped_scatters += response.cost.skipped_scatters;
-        self.stats.total_routed_messages += response.cost.routed_messages;
-        if response.cost.index_served {
-            self.stats.index_served_queries += 1;
-        }
         Ok(response)
+    }
+
+    /// Folds one served response into the cumulative stats.
+    ///
+    /// All work-unit totals accumulate with saturating arithmetic: a long-lived
+    /// serving session must degrade to a pinned counter, never wrap around (or, in
+    /// debug builds, panic) mid-stream.
+    pub(crate) fn record_response(&mut self, response: &Response) {
+        let cost = &response.cost;
+        let s = &mut self.stats;
+        s.queries_served = s.queries_served.saturating_add(1);
+        s.total_network_bytes = s.total_network_bytes.saturating_add(cost.network_bytes);
+        s.total_simulated_seconds += cost.simulated_seconds;
+        s.total_cpu_seconds += cost.simulated_cpu_seconds;
+        s.total_host_seconds += cost.host_seconds;
+        s.total_push_ops = s.total_push_ops.saturating_add(cost.push_ops);
+        s.total_walk_hops = s.total_walk_hops.saturating_add(cost.walk_hops);
+        s.total_index_hits = s.total_index_hits.saturating_add(cost.index_hits);
+        s.total_index_misses = s.total_index_misses.saturating_add(cost.index_misses);
+        s.total_active_vertices = s.total_active_vertices.saturating_add(cost.active_vertices);
+        s.total_skipped_scatters = s
+            .total_skipped_scatters
+            .saturating_add(cost.skipped_scatters);
+        s.total_routed_messages = s.total_routed_messages.saturating_add(cost.routed_messages);
+        s.latency.record(response.kind(), cost.host_seconds);
+        if cost.index_served {
+            s.index_served_queries = s.index_served_queries.saturating_add(1);
+        }
+    }
+
+    /// Folds a served stream's report into the cumulative stats: every served
+    /// response individually, the rejection count, and the stream's *elapsed* wall
+    /// time (which under concurrency is less than the summed per-query host time —
+    /// the two are tracked separately on purpose).
+    pub(crate) fn absorb_serve(&mut self, report: &ServeReport) {
+        for response in report.responses() {
+            self.record_response(response);
+        }
+        self.stats.queries_rejected = self.stats.queries_rejected.saturating_add(report.rejected);
+        self.stats.total_wall_seconds += report.wall_seconds;
     }
 
     fn indexed_response(
