@@ -1,11 +1,12 @@
 //! Microbenchmark of the engine's superstep machinery: full FrogWild runs with
-//! serial and worker-pool execution, plus delta-gated vs ungated runs of both
-//! vertex programs, isolating the engine overhead from the algorithm's accuracy
-//! concerns.
+//! serial and worker-pool execution, a bounded-staleness sweep (the host cost of
+//! the staging inbox relative to the synchronous barrier path), plus delta-gated
+//! vs ungated runs of both vertex programs, isolating the engine overhead from
+//! the algorithm's accuracy concerns.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use frogwild::driver::{
-    partition_graph, run_frogwild_on, run_frogwild_scheduled, run_graphlab_pr_on,
+    partition_graph, run_frogwild_on, run_frogwild_scheduled, run_frogwild_with, run_graphlab_pr_on,
 };
 use frogwild::prelude::*;
 use frogwild_graph::generators::twitter_like;
@@ -78,6 +79,43 @@ fn bench_superstep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Bounded-staleness sweep: the same FrogWild run under widening staleness windows.
+/// `staleness 0` takes the synchronous fast path (no staging inbox); `s > 0` pays
+/// for the deterministic per-channel delays and the `BTreeMap` staging inbox, which
+/// is exactly the host-side overhead this group measures.
+fn bench_staleness(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let graph = twitter_like(10_000, &mut rng);
+    let pg = partition_graph(&graph, &ClusterConfig::new(16, 9));
+    let config = FrogWildConfig {
+        num_walkers: 50_000,
+        iterations: 6,
+        sync_probability: 0.7,
+        ..FrogWildConfig::default()
+    };
+
+    let mut group = c.benchmark_group("engine_staleness");
+    group.sample_size(10);
+    for staleness in [0usize, 1, 2, 4] {
+        group.bench_function(
+            format!("frogwild_6_supersteps_staleness_{staleness}"),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        run_frogwild_with(
+                            &pg,
+                            &config,
+                            &ExecutionConfig::new().staleness(staleness),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_delta_gate(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(42);
     let graph = twitter_like(3_000, &mut rng);
@@ -120,5 +158,5 @@ fn bench_delta_gate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_superstep, bench_delta_gate);
+criterion_group!(benches, bench_superstep, bench_staleness, bench_delta_gate);
 criterion_main!(benches);

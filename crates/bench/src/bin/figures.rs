@@ -5,7 +5,7 @@
 //!     cargo run -p frogwild-bench --release --bin figures -- [FIGURES...]
 //!
 //! FIGURES:
-//!     all (default) | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | theory | ablation | estimator | stragglers | walkindex | qps
+//!     all (default) | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | theory | ablation | estimator | stragglers | staleness | walkindex | qps
 //!
 //! ENVIRONMENT:
 //!     FROGWILD_SCALE=tiny|small|medium   experiment scale (default: small)
@@ -21,7 +21,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: figures [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|theory|ablation|estimator|stragglers|walkindex|qps]...\n\
+            "usage: figures [all|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|theory|ablation|estimator|stragglers|staleness|walkindex|qps]...\n\
              env:   FROGWILD_SCALE=tiny|small|medium, FROGWILD_OUT=<dir>"
         );
         return;

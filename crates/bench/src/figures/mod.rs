@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig67;
 pub mod fig8;
 pub mod qps;
+pub mod staleness;
 pub mod stragglers;
 pub mod theory_check;
 pub mod walkindex;

@@ -63,6 +63,9 @@ pub fn run_figures(names: &[String], scale: &Scale) -> Vec<frogwild::report::Tab
     if wants("stragglers") {
         tables.extend(figures::stragglers::run(scale));
     }
+    if wants("staleness") {
+        tables.extend(figures::staleness::run(scale));
+    }
     if wants("walkindex") {
         tables.extend(figures::walkindex::run(scale));
     }

@@ -32,6 +32,20 @@
 //!     --seed <n>            random seed                             [default: 42]
 //!     --verbose             print the per-query cost audit (QueryCost) to stderr
 //!
+//! EXECUTION OPTIONS (engine-served queries: topk, pagerank, autotune, serve):
+//!     --workers <n>         engine worker threads per query (0 = auto)   [default: 0]
+//!     --staleness <s>       bounded-staleness window, in supersteps      [default: 0]
+//!
+//!   The two worker pools compose and are deliberately distinct flags: `--workers`
+//!   sizes the engine's batch pool *inside* one query (results are bit-identical for
+//!   every setting), while `--serve-workers` (below) sizes the serving front-end's
+//!   query pool across concurrent queries. `--staleness 0` is the synchronous
+//!   barriered executor; `s > 0` lets each machine run up to `s` supersteps ahead of
+//!   its peers' messages under a deterministic delivery schedule — results stay
+//!   reproducible for a fixed `s` but differ from the synchronous ones. Serial and
+//!   index-served paths (`ppr`, `--walk-index` topk) ignore both engine options and
+//!   say so.
+//!
 //! SERVING OPTIONS (serve subcommand; also honoured by topk --repeat sessions):
 //!     --serve-workers <n>   worker threads in the serving pool (0 = auto) [default: 0]
 //!     --queue-depth <n>     bounded submission queue capacity, in batches [default: 64]
@@ -56,7 +70,7 @@
 //!     --ps <p>             mirror synchronization probability       [default: 0.7]
 //!     --repeat <n>         serve the query n times on one session   [default: 1]
 //!     --parallel           serve engine work batches from a worker pool
-//!     --workers <n>        worker threads when --parallel           [default: auto]
+//!                          (sized by --workers, see EXECUTION OPTIONS)
 //!     --tolerance <t>      delta gate: a vertex whose live-walker count after apply
 //!                          is <= t skips scatter and leaves the frontier [default: 0]
 //!
@@ -148,8 +162,9 @@ fn print_usage() {
          \u{20}          --machines N --partitioner random|grid|oblivious|hdrf|hybrid --seed N\n\
          \u{20}          [--walk-index] [--walk-index-segments R] [--walk-index-length L]\n\
          \u{20}          [--walk-index-epsilon E] [--walk-index-walks N] [--walk-index-budget-mb M]\n\
+         \u{20}          [--workers N] [--staleness S]  (engine execution; see --help)\n\
          topk:     --k N --walkers N --iterations N --ps P [--repeat N] [--parallel]\n\
-         \u{20}          [--workers N] [--tolerance T]\n\
+         \u{20}          [--tolerance T]\n\
          autotune: --k N --loss E --delta D --ps P [--pilot-walkers N]\n\
          pagerank: --iterations N | --exact [--tolerance T]\n\
          ppr:      --source V [--method push|exact|mc] [--epsilon E] [--k N]\n\
@@ -288,11 +303,12 @@ fn session_over<'g>(args: &Args, graph: &'g DiGraph, allow_index: bool) -> Resul
         "a partitioner name",
     )?;
     let workers: usize = args.get_parsed("workers", 0usize, "an integer")?;
+    let staleness: usize = args.get_parsed("staleness", 0usize, "an integer")?;
     let mut builder = Session::builder(graph)
         .machines(machines)
         .partitioner(partitioner)
         .seed(seed)
-        .scheduling(Scheduling::with_workers(workers))
+        .execution(ExecutionConfig::new().workers(workers).staleness(staleness))
         .serve_config(serve_config_from(args)?);
     if let Some(config) = walk_index_config(args)? {
         if allow_index {
@@ -372,6 +388,16 @@ fn cmd_topk(args: &Args) -> Result<()> {
             "warning: --tolerance gates the engine's scatter phase, but --walk-index serves \
              topk from precomputed segments; the tolerance has no effect on index-served queries"
         );
+    }
+    if walk_index_config(args)?.is_some() {
+        for flag in ["workers", "staleness"] {
+            if args.get(flag).is_some() {
+                eprintln!(
+                    "warning: --{flag} configures the engine executor, but --walk-index serves \
+                     topk from precomputed segments; it has no effect on index-served queries"
+                );
+            }
+        }
     }
     let k: usize = args.get_parsed("k", 100, "an integer")?;
     let repeat: usize = args.get_parsed("repeat", 1usize, "an integer")?;
@@ -486,6 +512,14 @@ fn cmd_ppr(args: &Args) -> Result<()> {
             "warning: --tolerance gates the engine's scatter phase; ppr is served serially \
              or from the walk index and ignores it"
         );
+    }
+    for flag in ["workers", "staleness"] {
+        if args.get(flag).is_some() {
+            eprintln!(
+                "warning: --{flag} configures the engine executor; ppr is served serially \
+                 or from the walk index and ignores it"
+            );
+        }
     }
 
     let graph = load_graph(args)?;

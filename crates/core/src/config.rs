@@ -127,6 +127,10 @@ impl FrogWildConfig {
 /// [`EngineConfig`](frogwild_engine::EngineConfig). The defaults (`0`, `0`) let the
 /// engine size everything automatically; none of the values change results, only how
 /// the work is spread over host threads.
+///
+/// Superseded by [`ExecutionConfig`], which carries the same two knobs plus the
+/// execution-semantics knobs (`tolerance`, `staleness`) behind one builder; every
+/// `Scheduling` converts losslessly via `ExecutionConfig::from`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Scheduling {
     /// Worker threads serving phase work batches when parallel execution is on
@@ -144,6 +148,124 @@ impl Scheduling {
             workers,
             batch_size: 0,
         }
+    }
+}
+
+/// Unified execution configuration for the engine: worker-pool scheduling
+/// (`workers`, `batch_size`), the executor's delta-gating `tolerance` override, and
+/// the bounded-`staleness` asynchrony knob — one builder threaded through
+/// [`SessionBuilder::execution`](crate::session::SessionBuilder::execution) and the
+/// `*_with` drivers ([`run_frogwild_with`](crate::driver::run_frogwild_with),
+/// [`run_graphlab_pr_with`](crate::driver::run_graphlab_pr_with)).
+///
+/// # Determinism contract
+///
+/// `workers` and `batch_size` never change results — only how the work spreads over
+/// host threads. `staleness` *does* change results (messages arrive late), but
+/// deterministically: for a fixed staleness bound the output is bit-identical across
+/// every worker count and batch size, and `staleness = 0` (the default) reproduces
+/// the synchronous executor bit-for-bit. `tolerance` overrides the algorithm
+/// config's delta-gating threshold when set; leaving it unset (`None`) defers to
+/// [`FrogWildConfig::tolerance`] / [`PageRankConfig::tolerance`].
+///
+/// # Migrating from [`Scheduling`]
+///
+/// `Scheduling { workers, batch_size }` maps to
+/// `ExecutionConfig::new().workers(workers).batch_size(batch_size)`; a plain
+/// `ExecutionConfig::from(scheduling)` performs the same conversion. Code that used
+/// `SessionBuilder::scheduling(s)` should move to
+/// `SessionBuilder::execution(ExecutionConfig::from(s))` — the deprecated wrapper
+/// remains for one release.
+///
+/// ```
+/// use frogwild::config::ExecutionConfig;
+///
+/// let exec = ExecutionConfig::new().workers(4).batch_size(256).staleness(1);
+/// assert_eq!(exec.workers, 4);
+/// assert_eq!(exec.staleness, 1);
+/// assert!(exec.validate().is_ok());
+/// ```
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Worker threads serving phase work batches when parallel execution is on
+    /// (`0` = derive from the host's available parallelism).
+    pub workers: usize,
+    /// Tasks per work batch — one contiguous key range of one simulated machine's
+    /// task list (`0` = built-in default).
+    pub batch_size: usize,
+    /// Session-level override of the executor's delta-gating threshold. `None` (the
+    /// default) defers to the per-algorithm config's tolerance.
+    pub tolerance: Option<f64>,
+    /// Bounded staleness for inter-machine messages, in supersteps. `0` (the
+    /// default) is fully synchronous BSP; `s > 0` lets machines overlap supersteps
+    /// up to `s` deep with deterministically delayed message delivery. See
+    /// [`EngineConfig::staleness`](frogwild_engine::EngineConfig::staleness).
+    pub staleness: usize,
+}
+
+impl ExecutionConfig {
+    /// The default configuration: auto-sized workers and batches, no tolerance
+    /// override, synchronous execution.
+    pub fn new() -> Self {
+        ExecutionConfig::default()
+    }
+
+    /// Sets the worker-pool size (`0` = derive from the host).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the work-batch size (`0` = built-in default).
+    #[must_use]
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the executor's delta-gating tolerance for every query run under
+    /// this configuration.
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = Some(tolerance);
+        self
+    }
+
+    /// Sets the bounded-staleness asynchrony level, in supersteps.
+    #[must_use]
+    pub fn staleness(mut self, staleness: usize) -> Self {
+        self.staleness = staleness;
+        self
+    }
+
+    /// The delta-gating tolerance to hand the engine, given the algorithm config's
+    /// own `default` threshold.
+    pub fn effective_tolerance(&self, default: f64) -> f64 {
+        self.tolerance.unwrap_or(default)
+    }
+
+    /// Validates the configuration, returning the first problem found as a typed
+    /// [`Error::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), Error> {
+        if let Some(t) = self.tolerance {
+            if !t.is_finite() || t < 0.0 {
+                return Err(Error::config(
+                    "ExecutionConfig",
+                    format!("tolerance must be finite and non-negative, got {t}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Scheduling> for ExecutionConfig {
+    fn from(scheduling: Scheduling) -> Self {
+        ExecutionConfig::new()
+            .workers(scheduling.workers)
+            .batch_size(scheduling.batch_size)
     }
 }
 
@@ -291,6 +413,37 @@ mod tests {
         assert_eq!(s.batch_size, 0);
         assert_eq!(Scheduling::with_workers(4).workers, 4);
         assert_eq!(Scheduling::with_workers(4).batch_size, 0);
+    }
+
+    #[test]
+    fn execution_config_builder_and_conversion() {
+        let exec = ExecutionConfig::new()
+            .workers(3)
+            .batch_size(128)
+            .tolerance(1e-3)
+            .staleness(2);
+        assert_eq!(exec.workers, 3);
+        assert_eq!(exec.batch_size, 128);
+        assert_eq!(exec.tolerance, Some(1e-3));
+        assert_eq!(exec.staleness, 2);
+        assert!(exec.validate().is_ok());
+        assert_eq!(exec.effective_tolerance(0.5), 1e-3);
+        assert_eq!(ExecutionConfig::new().effective_tolerance(0.5), 0.5);
+
+        let from = ExecutionConfig::from(Scheduling {
+            workers: 7,
+            batch_size: 19,
+        });
+        assert_eq!(from.workers, 7);
+        assert_eq!(from.batch_size, 19);
+        assert_eq!(from.tolerance, None);
+        assert_eq!(from.staleness, 0);
+
+        assert!(ExecutionConfig::new().tolerance(-1.0).validate().is_err());
+        assert!(ExecutionConfig::new()
+            .tolerance(f64::NAN)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{FrogWildConfig, PageRankConfig, Scheduling};
+use crate::config::{ExecutionConfig, FrogWildConfig, PageRankConfig, Scheduling};
 use crate::error::Error;
 use crate::programs::{FrogWildProgram, PageRankProgram};
 use crate::topk::normalize;
@@ -60,6 +60,15 @@ pub struct CostSummary {
     pub routed_messages: u64,
     /// Sum of per-superstep frontier sizes.
     pub active_vertices: u64,
+    /// Total delivery lag (supersteps late versus synchronous delivery) accumulated
+    /// by drained messages under bounded-staleness execution. 0 for synchronous runs.
+    pub staleness_lag: u64,
+    /// Deepest staging-inbox backlog observed at the end of any superstep. 0 for
+    /// synchronous runs.
+    pub max_inbox_depth: u64,
+    /// Simulated barrier-wait seconds avoided by bounded-staleness overlap. 0 for
+    /// synchronous runs.
+    pub barrier_wait_avoided_seconds: f64,
 }
 
 impl CostSummary {
@@ -78,6 +87,9 @@ impl CostSummary {
             skipped_scatters: metrics.total_skipped_scatters(),
             routed_messages: metrics.total_routed_messages(),
             active_vertices: metrics.total_active_vertices(),
+            staleness_lag: metrics.total_staleness_lag(),
+            max_inbox_depth: metrics.max_inbox_depth(),
+            barrier_wait_avoided_seconds: metrics.total_barrier_wait_avoided_seconds(),
         }
     }
 }
@@ -124,9 +136,10 @@ pub fn run_frogwild_on(pg: &PartitionedGraph, config: &FrogWildConfig) -> Result
     run_frogwild_scheduled(pg, config, &Scheduling::default())
 }
 
-/// Runs FrogWild with explicit worker-pool [`Scheduling`] knobs. The knobs only
-/// change how the work is spread over host threads; the estimate and all counted
-/// costs are identical to [`run_frogwild_on`].
+/// Runs FrogWild with explicit worker-pool [`Scheduling`] knobs — a thin wrapper
+/// over [`run_frogwild_with`] for callers that have not adopted
+/// [`ExecutionConfig`] yet. The knobs only change how the work is spread over host
+/// threads; the estimate and all counted costs are identical to [`run_frogwild_on`].
 ///
 /// # Errors
 ///
@@ -137,6 +150,24 @@ pub fn run_frogwild_scheduled(
     config: &FrogWildConfig,
     scheduling: &Scheduling,
 ) -> Result<RunReport, Error> {
+    run_frogwild_with(pg, config, &ExecutionConfig::from(*scheduling))
+}
+
+/// Runs FrogWild under a unified [`ExecutionConfig`]: worker-pool scheduling, an
+/// optional tolerance override, and bounded-staleness asynchrony. `workers` and
+/// `batch_size` never change results; `staleness > 0` changes them
+/// deterministically (bit-identical across worker counts for a fixed bound), and
+/// `staleness = 0` reproduces [`run_frogwild_on`] bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when either configuration fails validation.
+pub fn run_frogwild_with(
+    pg: &PartitionedGraph,
+    config: &FrogWildConfig,
+    execution: &ExecutionConfig,
+) -> Result<RunReport, Error> {
+    execution.validate()?;
     let program = FrogWildProgram::new(config)?;
     let engine_config = EngineConfig {
         sync_policy: config.sync_policy(),
@@ -144,9 +175,10 @@ pub fn run_frogwild_scheduled(
         max_supersteps: config.iterations,
         seed: config.seed,
         parallel: config.parallel,
-        tolerance: config.tolerance,
-        workers: scheduling.workers,
-        batch_size: scheduling.batch_size,
+        tolerance: execution.effective_tolerance(config.tolerance),
+        workers: execution.workers,
+        batch_size: execution.batch_size,
+        staleness: execution.staleness,
     };
     let cost_model = engine_config.cost_model;
     let engine = Engine::new(pg, program, engine_config)?;
@@ -203,10 +235,9 @@ pub fn run_graphlab_pr_on(
     run_graphlab_pr_scheduled(pg, config, &Scheduling::default())
 }
 
-/// Runs the baseline PageRank with explicit worker-pool [`Scheduling`] knobs. The
-/// configured [`PageRankConfig::tolerance`] becomes the executor's delta-gating
-/// threshold (GraphLab's dynamic scheduling); the scheduling knobs never change
-/// results.
+/// Runs the baseline PageRank with explicit worker-pool [`Scheduling`] knobs — a
+/// thin wrapper over [`run_graphlab_pr_with`] for callers that have not adopted
+/// [`ExecutionConfig`] yet. The scheduling knobs never change results.
 ///
 /// # Errors
 ///
@@ -217,6 +248,24 @@ pub fn run_graphlab_pr_scheduled(
     config: &PageRankConfig,
     scheduling: &Scheduling,
 ) -> Result<RunReport, Error> {
+    run_graphlab_pr_with(pg, config, &ExecutionConfig::from(*scheduling))
+}
+
+/// Runs the baseline PageRank under a unified [`ExecutionConfig`]. The configured
+/// [`PageRankConfig::tolerance`] becomes the executor's delta-gating threshold
+/// (GraphLab's dynamic scheduling) unless the execution config overrides it;
+/// `staleness > 0` delays activation signals deterministically, and `staleness = 0`
+/// reproduces [`run_graphlab_pr_on`] bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when either configuration fails validation.
+pub fn run_graphlab_pr_with(
+    pg: &PartitionedGraph,
+    config: &PageRankConfig,
+    execution: &ExecutionConfig,
+) -> Result<RunReport, Error> {
+    execution.validate()?;
     let program = PageRankProgram::new(config)?;
     let engine_config = EngineConfig {
         sync_policy: SyncPolicy::Full,
@@ -224,9 +273,10 @@ pub fn run_graphlab_pr_scheduled(
         max_supersteps: config.max_iterations,
         seed: config.seed,
         parallel: config.parallel,
-        tolerance: config.tolerance,
-        workers: scheduling.workers,
-        batch_size: scheduling.batch_size,
+        tolerance: execution.effective_tolerance(config.tolerance),
+        workers: execution.workers,
+        batch_size: execution.batch_size,
+        staleness: execution.staleness,
     };
     let cost_model = engine_config.cost_model;
     let engine = Engine::new(pg, program, engine_config)?;
@@ -530,6 +580,87 @@ mod tests {
             assert_eq!(reference.cost.network_bytes, run.cost.network_bytes);
             assert_eq!(reference.cost.routed_messages, run.cost.routed_messages);
         }
+    }
+
+    #[test]
+    fn execution_config_at_staleness_zero_matches_the_scheduled_driver_bit_for_bit() {
+        let g = test_graph(300);
+        let pg = partition_graph(&g, &small_cluster());
+        let config = FrogWildConfig {
+            num_walkers: 20_000,
+            iterations: 4,
+            sync_probability: 0.7,
+            ..FrogWildConfig::default()
+        };
+        let scheduled = run_frogwild_scheduled(&pg, &config, &Scheduling::with_workers(2)).unwrap();
+        let unified = run_frogwild_with(&pg, &config, &ExecutionConfig::new().workers(2)).unwrap();
+        assert!(scheduled
+            .estimate
+            .iter()
+            .zip(&unified.estimate)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(scheduled.cost.network_bytes, unified.cost.network_bytes);
+        assert_eq!(unified.cost.staleness_lag, 0);
+        assert_eq!(unified.cost.max_inbox_depth, 0);
+        assert_eq!(unified.cost.barrier_wait_avoided_seconds, 0.0);
+    }
+
+    #[test]
+    fn stale_frogwild_keeps_a_distribution_and_reports_staleness_metrics() {
+        let g = test_graph(400);
+        let pg = partition_graph(&g, &ClusterConfig::new(8, 3));
+        let config = FrogWildConfig {
+            num_walkers: 30_000,
+            iterations: 5,
+            sync_probability: 0.7,
+            ..FrogWildConfig::default()
+        };
+        let exec = ExecutionConfig::new().staleness(2);
+        let stale = run_frogwild_with(&pg, &config, &exec).unwrap();
+        let total: f64 = stale.estimate.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "walkers lost: sum {total}");
+        assert!(stale.cost.staleness_lag > 0);
+        assert!(stale.cost.barrier_wait_avoided_seconds > 0.0);
+        // Deterministic: the same configuration reproduces itself bit-for-bit.
+        let again = run_frogwild_with(&pg, &config, &exec).unwrap();
+        assert!(stale
+            .estimate
+            .iter()
+            .zip(&again.estimate)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(stale.cost.staleness_lag, again.cost.staleness_lag);
+    }
+
+    #[test]
+    fn execution_tolerance_override_gates_like_the_config_tolerance() {
+        let g = test_graph(500);
+        let pg = partition_graph(&g, &ClusterConfig::new(8, 3));
+        let base = FrogWildConfig {
+            num_walkers: 5_000,
+            iterations: 6,
+            ..FrogWildConfig::default()
+        };
+        let via_config = run_frogwild_on(
+            &pg,
+            &FrogWildConfig {
+                tolerance: 2.0,
+                ..base
+            },
+        )
+        .unwrap();
+        let via_exec =
+            run_frogwild_with(&pg, &base, &ExecutionConfig::new().tolerance(2.0)).unwrap();
+        assert!(via_config
+            .estimate
+            .iter()
+            .zip(&via_exec.estimate)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(
+            via_config.cost.skipped_scatters,
+            via_exec.cost.skipped_scatters
+        );
+        // An invalid override is rejected up front.
+        assert!(run_frogwild_with(&pg, &base, &ExecutionConfig::new().tolerance(-1.0)).is_err());
     }
 
     #[test]

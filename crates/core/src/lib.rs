@@ -142,10 +142,11 @@ pub mod walkindex;
 pub mod prelude {
     pub use crate::autotune::{auto_topk_on, AutoTuneConfig, AutoTuneReport};
     pub use crate::confidence::{plan_walkers, wilson_interval, WalkerPlan};
-    pub use crate::config::{FrogWildConfig, PageRankConfig, Scheduling};
+    pub use crate::config::{ExecutionConfig, FrogWildConfig, PageRankConfig, Scheduling};
     pub use crate::driver::{
-        partition_graph, run_frogwild_on, run_frogwild_scheduled, run_graphlab_pr_on,
-        run_graphlab_pr_scheduled, run_sparsified_pr, RunReport,
+        partition_graph, run_frogwild_on, run_frogwild_scheduled, run_frogwild_with,
+        run_graphlab_pr_on, run_graphlab_pr_scheduled, run_graphlab_pr_with, run_sparsified_pr,
+        RunReport,
     };
     pub use crate::error::{Error, Result};
     pub use crate::metrics::{exact_identification, mass_captured, MassCaptured};
@@ -167,7 +168,7 @@ pub mod prelude {
     pub use frogwild_graph::{DiGraph, GraphBuilder, VertexId};
 }
 
-pub use config::{FrogWildConfig, PageRankConfig, Scheduling};
+pub use config::{ExecutionConfig, FrogWildConfig, PageRankConfig, Scheduling};
 pub use error::{Error, Result};
 pub use metrics::{exact_identification, mass_captured, MassCaptured};
 pub use reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};

@@ -151,7 +151,13 @@ impl ServeConfig {
 }
 
 /// The fate of one submitted query.
+///
+/// The enum is `#[non_exhaustive]`: future outcomes (e.g. a deadline-expired
+/// variant) may be added without a breaking change, so foreign matches need a
+/// wildcard arm. Prefer [`QueryOutcome::response`] / [`QueryOutcome::is_rejected`]
+/// over exhaustive matching.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum QueryOutcome {
     /// Answered; the deterministic [`Response`] (boxed — responses are large
     /// relative to the other variants).

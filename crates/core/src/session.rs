@@ -56,8 +56,10 @@ use frogwild_engine::{ClusterConfig, PartitionedGraph, Partitioner, PartitionerK
 use frogwild_graph::{DiGraph, VertexId};
 
 use crate::autotune::{auto_topk_on, AutoTuneConfig};
-use crate::config::{in_open_unit_interval, FrogWildConfig, PageRankConfig, Scheduling};
-use crate::driver::{run_frogwild_scheduled, run_graphlab_pr_scheduled, RunReport};
+use crate::config::{
+    in_open_unit_interval, ExecutionConfig, FrogWildConfig, PageRankConfig, Scheduling,
+};
+use crate::driver::{run_frogwild_with, run_graphlab_pr_with, RunReport};
 use crate::error::{Error, Result};
 use crate::ppr::{
     forward_push_ppr, monte_carlo_ppr_counted, personalized_pagerank, single_source_restart,
@@ -78,7 +80,7 @@ pub struct SessionBuilder<'g> {
     machines: usize,
     partitioner: PartitionerKind,
     seed: u64,
-    scheduling: Scheduling,
+    execution: ExecutionConfig,
     serve: ServeConfig,
     walk_index: Option<WalkIndexConfig>,
 }
@@ -102,13 +104,32 @@ impl<'g> SessionBuilder<'g> {
         self
     }
 
+    /// The [`ExecutionConfig`] every engine-served query runs under: worker pool,
+    /// batch size, an optional tolerance override, and the bounded-staleness window.
+    ///
+    /// The worker/batch knobs decide only how work batches are spread over host
+    /// threads — results are bit-identical for every setting. `staleness` changes the
+    /// executor's message-visibility schedule (still deterministically — see
+    /// [`ExecutionConfig`]); `staleness == 0` is the synchronous executor.
+    pub fn execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// Worker-pool [`Scheduling`] knobs every engine-served query runs under.
     ///
-    /// The knobs decide only how work batches are spread over host threads — query
-    /// results are bit-identical for every setting. The default lets the engine size
-    /// the pool automatically.
+    /// Thin wrapper over [`execution`](SessionBuilder::execution): sets only the
+    /// `workers` and `batch_size` fields of the session's [`ExecutionConfig`],
+    /// leaving tolerance and staleness untouched.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `execution` with an `ExecutionConfig` instead"
+    )]
     pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
-        self.scheduling = scheduling;
+        self.execution = self
+            .execution
+            .workers(scheduling.workers)
+            .batch_size(scheduling.batch_size);
         self
     }
 
@@ -164,6 +185,7 @@ impl<'g> SessionBuilder<'g> {
         if self.graph.num_vertices() == 0 {
             return Err(Error::graph("cannot build a session over an empty graph"));
         }
+        self.execution.validate()?;
         self.serve.validate()?;
         let cluster = ClusterConfig::new(self.machines, self.seed);
         let started = Instant::now();
@@ -187,7 +209,7 @@ impl<'g> SessionBuilder<'g> {
             pg,
             cluster,
             partitioner: self.partitioner,
-            scheduling: self.scheduling,
+            execution: self.execution,
             serve_config: self.serve,
             index,
             stats: SessionStats {
@@ -209,6 +231,9 @@ impl<'g> SessionBuilder<'g> {
                 total_active_vertices: 0,
                 total_skipped_scatters: 0,
                 total_routed_messages: 0,
+                total_staleness_lag: 0,
+                max_inbox_depth: 0,
+                total_barrier_wait_avoided_seconds: 0.0,
                 latency: LatencyStats::default(),
             },
         })
@@ -250,6 +275,12 @@ pub enum PprMethod {
 /// Each variant carries its own configuration, so one session can serve a
 /// heterogeneous stream (different walker budgets, different `p_s`, different sources)
 /// without rebuilding anything.
+///
+/// The enum is `#[non_exhaustive]`: future query kinds (e.g. a FAST-PPR-style pair
+/// query) can be added without a breaking release, so downstream `match`es need a
+/// wildcard arm. Prefer the constructor helpers ([`Query::top_k`], [`Query::ppr`], …)
+/// over spelling out variant literals.
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Query {
     /// Estimate the global top-`k` PageRank vertices with FrogWild random walkers.
@@ -285,6 +316,51 @@ pub enum Query {
 }
 
 impl Query {
+    /// A [`Query::TopK`] under the default [`FrogWildConfig`] — the paper's
+    /// estimator with its default walker budget, iterations and `p_s`.
+    pub fn top_k(k: usize) -> Self {
+        Query::TopK {
+            k,
+            config: FrogWildConfig::default(),
+        }
+    }
+
+    /// A [`Query::TopK`] under an explicit [`FrogWildConfig`].
+    pub fn top_k_with(k: usize, config: FrogWildConfig) -> Self {
+        Query::TopK { k, config }
+    }
+
+    /// A [`Query::Pagerank`] (the GraphLab-style baseline) under the default
+    /// [`PageRankConfig`].
+    pub fn pagerank(k: usize) -> Self {
+        Query::Pagerank {
+            k,
+            config: PageRankConfig::default(),
+        }
+    }
+
+    /// A [`Query::Pagerank`] under an explicit [`PageRankConfig`].
+    pub fn pagerank_with(k: usize, config: PageRankConfig) -> Self {
+        Query::Pagerank { k, config }
+    }
+
+    /// A [`Query::Ppr`] from `source`: top-20 under the conventional 0.15 teleport
+    /// probability, evaluated with forward push at `ε = 1e-6` (the cheap serving
+    /// path). Spell out the variant for a different `k`, teleport or method.
+    pub fn ppr(source: VertexId) -> Self {
+        Query::Ppr {
+            source,
+            k: 20,
+            teleport_probability: 0.15,
+            method: PprMethod::ForwardPush { epsilon: 1e-6 },
+        }
+    }
+
+    /// A [`Query::AutotunedTopK`] under the given pilot/plan configuration.
+    pub fn autotuned(config: AutoTuneConfig) -> Self {
+        Query::AutotunedTopK { config }
+    }
+
     /// The `k` this query ranks.
     pub fn k(&self) -> usize {
         match self {
@@ -353,6 +429,15 @@ pub struct QueryCost {
     /// Post-combining message deliveries routed between scatter and the next gather,
     /// including machine-local ones (engine-served queries only).
     pub routed_messages: u64,
+    /// Summed delivery lag (in supersteps) of messages the bounded-staleness
+    /// executor deferred — zero for synchronous (`staleness == 0`) runs.
+    pub staleness_lag: u64,
+    /// Deepest staging inbox observed over the run's supersteps (messages staged
+    /// beyond the next superstep's drain point) — zero for synchronous runs.
+    pub max_inbox_depth: u64,
+    /// Simulated seconds of barrier wait the staleness window overlapped away,
+    /// relative to fully barriered supersteps — zero for synchronous runs.
+    pub barrier_wait_avoided_seconds: f64,
     /// Real (host) seconds spent answering the query. Excluded from equality.
     pub host_seconds: f64,
 }
@@ -375,6 +460,9 @@ impl PartialEq for QueryCost {
             && self.active_vertices == other.active_vertices
             && self.skipped_scatters == other.skipped_scatters
             && self.routed_messages == other.routed_messages
+            && self.staleness_lag == other.staleness_lag
+            && self.max_inbox_depth == other.max_inbox_depth
+            && self.barrier_wait_avoided_seconds == other.barrier_wait_avoided_seconds
     }
 }
 
@@ -392,6 +480,9 @@ impl QueryCost {
             active_vertices: report.cost.active_vertices,
             skipped_scatters: report.cost.skipped_scatters,
             routed_messages: report.cost.routed_messages,
+            staleness_lag: report.cost.staleness_lag,
+            max_inbox_depth: report.cost.max_inbox_depth,
+            barrier_wait_avoided_seconds: report.cost.barrier_wait_avoided_seconds,
             host_seconds,
             ..QueryCost::default()
         }
@@ -447,6 +538,11 @@ impl std::fmt::Display for QueryCost {
              {} routed messages",
             self.supersteps, self.active_vertices, self.skipped_scatters, self.routed_messages
         )?;
+        writeln!(
+            f,
+            "  async: {} staleness lag, inbox depth {}, {:.4}s barrier wait avoided",
+            self.staleness_lag, self.max_inbox_depth, self.barrier_wait_avoided_seconds
+        )?;
         write!(
             f,
             "  network: {} bytes, {} messages; simulated {:.4}s wall, {:.4}s cpu",
@@ -494,6 +590,11 @@ pub enum ResponseDetail {
 /// cost field (host wall-clock time is excluded — see [`QueryCost`]). Two queries with
 /// identical configuration (including seeds) on sessions with identical layouts
 /// produce equal responses.
+///
+/// The struct is `#[non_exhaustive]`: construct it only through [`Session::query`] /
+/// [`Session::serve`], and destructure with a `..` rest pattern, so future response
+/// fields are non-breaking.
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
     /// Human-readable algorithm label, e.g. `"FrogWild ps=0.7 iters=4 walkers=100000"`.
@@ -578,6 +679,12 @@ pub struct SessionStats {
     pub total_skipped_scatters: u64,
     /// Total post-combining message deliveries routed by the engine.
     pub total_routed_messages: u64,
+    /// Total summed delivery lag (supersteps) of staleness-deferred messages.
+    pub total_staleness_lag: u64,
+    /// Deepest staging inbox observed over every engine-served query.
+    pub max_inbox_depth: u64,
+    /// Total simulated barrier-wait seconds the staleness window overlapped away.
+    pub total_barrier_wait_avoided_seconds: f64,
     /// Per-query-kind latency histograms (service time) with p50/p95/p99, fed by
     /// every served query — serial or pooled.
     pub latency: LatencyStats,
@@ -660,6 +767,16 @@ impl std::fmt::Display for SessionStats {
              {} scatters skipped by the delta gate, {} messages routed",
             self.total_active_vertices, self.total_skipped_scatters, self.total_routed_messages
         )?;
+        if self.total_staleness_lag > 0 || self.total_barrier_wait_avoided_seconds > 0.0 {
+            writeln!(
+                f,
+                "  async: {} staleness lag, max inbox depth {}, \
+                 {:.4}s barrier wait avoided",
+                self.total_staleness_lag,
+                self.max_inbox_depth,
+                self.total_barrier_wait_avoided_seconds
+            )?;
+        }
         writeln!(
             f,
             "  totals: {} network bytes, {:.4}s simulated, {:.4}s simulated CPU, \
@@ -710,7 +827,7 @@ pub struct Session<'g> {
     pg: PartitionedGraph,
     cluster: ClusterConfig,
     partitioner: PartitionerKind,
-    scheduling: Scheduling,
+    execution: ExecutionConfig,
     serve_config: ServeConfig,
     index: Option<SessionIndex>,
     stats: SessionStats,
@@ -724,7 +841,7 @@ impl<'g> Session<'g> {
             machines: 16,
             partitioner: PartitionerKind::default(),
             seed: 0x5EED_F20C,
-            scheduling: Scheduling::default(),
+            execution: ExecutionConfig::default(),
             serve: ServeConfig::default(),
             walk_index: None,
         }
@@ -792,12 +909,12 @@ impl<'g> Session<'g> {
                     self.indexed_response(algorithm, served, *k, ResponseDetail::TopK, started)
                 }
                 None => {
-                    let report = run_frogwild_scheduled(&self.pg, config, &self.scheduling)?;
+                    let report = run_frogwild_with(&self.pg, config, &self.execution)?;
                     self.engine_response(report, *k, ResponseDetail::TopK, started)
                 }
             },
             Query::Pagerank { k, config } => {
-                let report = run_graphlab_pr_scheduled(&self.pg, config, &self.scheduling)?;
+                let report = run_graphlab_pr_with(&self.pg, config, &self.execution)?;
                 self.engine_response(report, *k, ResponseDetail::Pagerank, started)
             }
             Query::Ppr {
@@ -825,6 +942,13 @@ impl<'g> Session<'g> {
                 response.cost.active_vertices += report.pilot.cost.active_vertices;
                 response.cost.skipped_scatters += report.pilot.cost.skipped_scatters;
                 response.cost.routed_messages += report.pilot.cost.routed_messages;
+                response.cost.staleness_lag += report.pilot.cost.staleness_lag;
+                response.cost.max_inbox_depth = response
+                    .cost
+                    .max_inbox_depth
+                    .max(report.pilot.cost.max_inbox_depth);
+                response.cost.barrier_wait_avoided_seconds +=
+                    report.pilot.cost.barrier_wait_avoided_seconds;
                 response
             }
         };
@@ -853,6 +977,9 @@ impl<'g> Session<'g> {
             .total_skipped_scatters
             .saturating_add(cost.skipped_scatters);
         s.total_routed_messages = s.total_routed_messages.saturating_add(cost.routed_messages);
+        s.total_staleness_lag = s.total_staleness_lag.saturating_add(cost.staleness_lag);
+        s.max_inbox_depth = s.max_inbox_depth.max(cost.max_inbox_depth);
+        s.total_barrier_wait_avoided_seconds += cost.barrier_wait_avoided_seconds;
         s.latency.record(response.kind(), cost.host_seconds);
         if cost.index_served {
             s.index_served_queries = s.index_served_queries.saturating_add(1);
@@ -996,9 +1123,21 @@ impl<'g> Session<'g> {
         self.partitioner
     }
 
+    /// The [`ExecutionConfig`] engine-served queries run under.
+    pub fn execution(&self) -> ExecutionConfig {
+        self.execution
+    }
+
     /// The worker-pool scheduling knobs engine-served queries run under.
+    ///
+    /// Thin wrapper over [`execution`](Session::execution), reporting only its
+    /// `workers` and `batch_size` fields.
+    #[deprecated(since = "0.6.0", note = "use `execution` instead")]
     pub fn scheduling(&self) -> Scheduling {
-        self.scheduling
+        Scheduling {
+            workers: self.execution.workers,
+            batch_size: self.execution.batch_size,
+        }
     }
 
     /// Name of the partitioner that produced the layout (e.g. `"oblivious"`).
@@ -1328,7 +1467,7 @@ mod tests {
     }
 
     #[test]
-    fn scheduling_knobs_do_not_change_query_results() {
+    fn execution_worker_knobs_do_not_change_query_results() {
         let g = test_graph(300);
         let q = Query::TopK {
             k: 15,
@@ -1339,23 +1478,88 @@ mod tests {
         };
         let mut baseline = Session::builder(&g).machines(4).seed(11).build().unwrap();
         let expected = baseline.query(&q).unwrap();
-        for scheduling in [
-            Scheduling::with_workers(2),
-            Scheduling {
-                workers: 5,
-                batch_size: 9,
-            },
+        for execution in [
+            ExecutionConfig::new().workers(2),
+            ExecutionConfig::new().workers(5).batch_size(9),
         ] {
             let mut session = Session::builder(&g)
                 .machines(4)
                 .seed(11)
-                .scheduling(scheduling)
+                .execution(execution)
                 .build()
                 .unwrap();
-            assert_eq!(session.scheduling(), scheduling);
+            assert_eq!(session.execution(), execution);
             let got = session.query(&q).unwrap();
-            assert_eq!(expected, got, "{scheduling:?}");
+            assert_eq!(expected, got, "{execution:?}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scheduling_wrapper_maps_onto_execution() {
+        let g = test_graph(300);
+        let q = Query::top_k_with(15, fw_config());
+        let scheduling = Scheduling {
+            workers: 3,
+            batch_size: 17,
+        };
+        let mut via_wrapper = Session::builder(&g)
+            .machines(4)
+            .seed(11)
+            .scheduling(scheduling)
+            .build()
+            .unwrap();
+        assert_eq!(via_wrapper.scheduling(), scheduling);
+        assert_eq!(via_wrapper.execution(), ExecutionConfig::from(scheduling));
+        let mut via_execution = Session::builder(&g)
+            .machines(4)
+            .seed(11)
+            .execution(ExecutionConfig::new().workers(3).batch_size(17))
+            .build()
+            .unwrap();
+        assert_eq!(
+            via_wrapper.query(&q).unwrap(),
+            via_execution.query(&q).unwrap()
+        );
+    }
+
+    #[test]
+    fn stale_sessions_keep_serving_and_report_async_stats() {
+        let g = test_graph(400);
+        let q = Query::top_k_with(
+            15,
+            FrogWildConfig {
+                iterations: 6,
+                ..fw_config()
+            },
+        );
+        let mut stale = Session::builder(&g)
+            .machines(8)
+            .seed(11)
+            .execution(ExecutionConfig::new().staleness(2))
+            .build()
+            .unwrap();
+        let first = stale.query(&q).unwrap();
+        let second = stale.query(&q).unwrap();
+        assert_eq!(first, second, "stale serving must stay deterministic");
+        assert!((first.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(first.cost.staleness_lag > 0);
+        assert!(first.cost.barrier_wait_avoided_seconds > 0.0);
+        let stats = stale.stats();
+        assert_eq!(stats.total_staleness_lag, 2 * first.cost.staleness_lag);
+        assert_eq!(stats.max_inbox_depth, first.cost.max_inbox_depth);
+        assert!(stats.total_barrier_wait_avoided_seconds > 0.0);
+        assert!(stale.stats().to_string().contains("barrier wait avoided"));
+        // An invalid execution config is rejected at build time.
+        assert!(matches!(
+            Session::builder(&g)
+                .execution(ExecutionConfig::new().tolerance(-0.5))
+                .build(),
+            Err(Error::InvalidConfig {
+                context: "ExecutionConfig",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -168,6 +168,19 @@ impl CostModel {
         work.total_ops() as f64 * self.seconds_per_op
     }
 
+    /// Simulated seconds a **single machine** spends on one superstep: its own
+    /// operations, its own outbound traffic, and the per-superstep scheduling
+    /// overhead. This is the per-machine term the bounded-staleness executor
+    /// pipelines (each machine advances on its own clock, gated only by the
+    /// staleness watermark); the synchronous model instead takes the
+    /// component-wise maxima across machines — see
+    /// [`CostModel::superstep_seconds`].
+    pub fn machine_superstep_seconds(&self, ops: u64, bytes: u64) -> f64 {
+        ops as f64 * self.seconds_per_op
+            + bytes as f64 / self.bytes_per_second
+            + self.superstep_overhead
+    }
+
     /// Simulated wall-clock seconds for one superstep on a **heterogeneous** cluster:
     /// machine `m` executes its operations `speed_factors[m]` times slower than the
     /// baseline (1.0 = nominal speed, 2.0 = half as fast). The synchronous barrier means
@@ -226,6 +239,19 @@ pub struct SuperstepMetrics {
     pub simulated_seconds: f64,
     /// Real (host) seconds the simulator spent executing the superstep.
     pub host_seconds: f64,
+    /// Messages sitting in the bounded-staleness staging inbox at the end of this
+    /// superstep whose delivery is deferred *past* the next superstep's drain point.
+    /// Always 0 under synchronous execution (`staleness = 0`), where every message
+    /// becomes visible exactly one superstep after it was produced.
+    pub inbox_depth: u64,
+    /// Summed delivery lag, in supersteps, of the messages drained at the start of
+    /// this superstep — how late each arrived relative to synchronous delivery.
+    /// Always 0 under synchronous execution.
+    pub staleness_lag: u64,
+    /// Simulated barrier-wait seconds this superstep avoided relative to the
+    /// synchronous cost model: the difference between the barriered superstep time
+    /// and the pipelined watermark advance. Always 0 under synchronous execution.
+    pub barrier_wait_avoided_seconds: f64,
 }
 
 /// Aggregated metrics for a full run.
@@ -323,6 +349,31 @@ impl RunMetrics {
         self.supersteps
             .iter()
             .map(|s| s.active_vertices as u64)
+            .sum()
+    }
+
+    /// Total delivery lag (supersteps late versus synchronous delivery) accumulated
+    /// by all drained messages over the run. 0 for synchronous runs.
+    pub fn total_staleness_lag(&self) -> u64 {
+        self.supersteps.iter().map(|s| s.staleness_lag).sum()
+    }
+
+    /// Deepest staging-inbox backlog observed at the end of any superstep. 0 for
+    /// synchronous runs.
+    pub fn max_inbox_depth(&self) -> u64 {
+        self.supersteps
+            .iter()
+            .map(|s| s.inbox_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total simulated barrier-wait seconds avoided by bounded-staleness overlap
+    /// over the run. 0 for synchronous runs.
+    pub fn total_barrier_wait_avoided_seconds(&self) -> f64 {
+        self.supersteps
+            .iter()
+            .map(|s| s.barrier_wait_avoided_seconds)
             .sum()
     }
 
@@ -447,7 +498,10 @@ mod tests {
                 network: net,
                 work,
                 simulated_seconds: simulated,
-                host_seconds: 0.0,
+                inbox_depth: 3 + i as u64,
+                staleness_lag: 2,
+                barrier_wait_avoided_seconds: 0.5,
+                ..SuperstepMetrics::default()
             });
         }
         assert_eq!(run.total_bytes(), 3000);
@@ -460,6 +514,9 @@ mod tests {
         assert_eq!(run.total_skipped_scatters(), 6);
         assert_eq!(run.total_routed_messages(), 15);
         assert_eq!(run.total_active_vertices(), 30);
+        assert_eq!(run.total_staleness_lag(), 6);
+        assert_eq!(run.max_inbox_depth(), 5);
+        assert!((run.total_barrier_wait_avoided_seconds() - 1.5).abs() < 1e-12);
         assert!(run.total_simulated_seconds() > 0.0);
         assert!(run.seconds_per_superstep() > 0.0);
         assert!(run.total_cpu_seconds(&model) > 0.0);
@@ -471,6 +528,33 @@ mod tests {
         assert_eq!(run.total_bytes(), 0);
         assert_eq!(run.seconds_per_superstep(), 0.0);
         assert_eq!(run.work_imbalance(), 1.0);
+        assert_eq!(run.total_staleness_lag(), 0);
+        assert_eq!(run.max_inbox_depth(), 0);
+        assert_eq!(run.total_barrier_wait_avoided_seconds(), 0.0);
+    }
+
+    #[test]
+    fn per_machine_superstep_seconds_never_exceed_the_barriered_maxima() {
+        let model = CostModel::default();
+        // One machine is compute-heavy, the other network-heavy: the synchronous
+        // model charges max(ops) + max(bytes), the per-machine term charges each
+        // machine its own combined cost, so every machine's clock advances by no
+        // more than the barriered superstep time.
+        let mut work = WorkStats::new(2);
+        work.ops_per_machine = vec![1_000_000, 10_000];
+        work.apply_ops = 1_010_000;
+        let mut net = NetworkStats::new(2);
+        net.bytes_per_machine = vec![1_000, 125_000_000];
+        net.bytes_sent = 125_001_000;
+        let sync = model.superstep_seconds(&work, &net);
+        for m in 0..2 {
+            let own =
+                model.machine_superstep_seconds(work.ops_per_machine[m], net.bytes_per_machine[m]);
+            assert!(own <= sync, "machine {m}: {own} > {sync}");
+        }
+        // And the components reconcile: 1e6 ops * 10ns + 1kB at 1Gbit/s + 1ms.
+        let m0 = model.machine_superstep_seconds(1_000_000, 1_000);
+        assert!((m0 - (0.01 + 1_000.0 / 125_000_000.0 + 0.001)).abs() < 1e-12);
     }
 
     #[test]
@@ -527,7 +611,7 @@ mod tests {
             network: net,
             work,
             simulated_seconds: simulated,
-            host_seconds: 0.0,
+            ..SuperstepMetrics::default()
         });
 
         // max = 200, mean = 150

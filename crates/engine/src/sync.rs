@@ -14,6 +14,14 @@
 //!   implementation and experiments use): coins are independent, but if the resulting
 //!   participating set has no out-edges at all while the vertex does have out-edges,
 //!   one replica owning out-edges is force-synchronized so walkers are never stranded.
+//!
+//! Partial synchronization is orthogonal to the executor's *bounded-staleness* axis
+//! ([`EngineConfig::staleness`](crate::EngineConfig::staleness)): `p_s` decides **how
+//! many** mirrors see a master update (a spatial thinning, trading network bytes for
+//! edge erasure), while staleness decides **when** a cross-machine message becomes
+//! visible (a temporal relaxation, trading freshness for barrier overlap). The two
+//! compose — a stale run still thins its mirror broadcasts by `p_s` — and both are
+//! deterministic given the seed, so every combination is reproducible.
 
 use serde::{Deserialize, Serialize};
 
