@@ -163,6 +163,7 @@ pub fn auto_topk_on(
     let pilot_top = pilot.top_k(config.k);
     let estimated_topk_mass: f64 = pilot_top
         .iter()
+        // lint:allow(indexing, vertex ids come from the pilot response over this estimate)
         .map(|&v| pilot.estimate[v as usize])
         .sum::<f64>()
         // Guard against a degenerate pilot (e.g. every walker died on one vertex).

@@ -16,6 +16,8 @@
 //!   returning a walker budget for a target `k`, captured-mass target and failure
 //!   probability.
 
+// lint:allow-file(indexing, dense per-vertex tables indexed by validated vertex ids of the same graph)
+
 use serde::{Deserialize, Serialize};
 
 /// A two-sided confidence interval on a proportion.

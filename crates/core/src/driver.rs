@@ -189,6 +189,7 @@ pub fn run_frogwild_with(
     let n = pg.num_vertices();
     let mut birth_counts = vec![0u64; n];
     for _ in 0..config.num_walkers {
+        // lint:allow(indexing, gen_range is bounded by the vertex count)
         birth_counts[rng.gen_range(0..n)] += 1;
     }
     let initial: Vec<(VertexId, u64)> = birth_counts

@@ -17,6 +17,8 @@
 //! 2. the captured-mass degradation as `p_s` decreases stays within the Theorem 1
 //!    envelope.
 
+// lint:allow-file(indexing, positions are drawn below the validated walk-storage bounds)
+
 use frogwild_graph::{DiGraph, VertexId};
 use rand::Rng;
 
@@ -112,6 +114,7 @@ pub fn erasure_walk_pagerank<R: Rng + ?Sized>(
         let mut write = 0usize;
         for read in 0..positions.len() {
             let v = positions[read];
+            // lint:allow(panic, every drawn position was recorded in occupied above)
             let slot = occupied.binary_search(&v).expect("vertex was recorded");
             let kept = &surviving_edges[slot];
             let next = if kept.is_empty() {

@@ -113,6 +113,7 @@ fn walk_and_count<R: Rng + ?Sized>(
     visits: &mut [u64],
 ) {
     let mut position = start;
+    // lint:allow(indexing, position is a valid vertex id of this graph)
     visits[position as usize] += 1;
     let lifespan = dist::geometric(teleport_probability, rng).min(max_steps as u64);
     for _ in 0..lifespan {
@@ -120,7 +121,9 @@ fn walk_and_count<R: Rng + ?Sized>(
         if neighbors.is_empty() {
             break;
         }
+        // lint:allow(indexing, gen_range is bounded by the neighbor count)
         position = neighbors[rng.gen_range(0..neighbors.len())];
+        // lint:allow(indexing, position is a valid vertex id of this graph)
         visits[position as usize] += 1;
     }
 }

@@ -16,6 +16,8 @@
 //! Global PageRank is the special case where the restart distribution is uniform; the
 //! tests pin that identity down.
 
+// lint:allow-file(indexing, dense per-vertex tables indexed by validated vertex ids of the same graph)
+
 use frogwild_graph::{DiGraph, VertexId};
 use rand::Rng;
 

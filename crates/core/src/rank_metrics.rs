@@ -15,6 +15,8 @@
 //! * [`precision_at_k_curve`] — exact identification swept over a list of `k` values in
 //!   one pass.
 
+// lint:allow-file(indexing, rankings index dense score vectors over the same vertex universe)
+
 use frogwild_graph::VertexId;
 
 use crate::topk::top_k;

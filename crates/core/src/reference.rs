@@ -7,6 +7,8 @@
 //!   truncated-geometric lifespans simulated on one machine with no engine effects.
 //!   Used in tests to separate "Monte-Carlo error" from "partial-synchronization error".
 
+// lint:allow-file(indexing, dense per-vertex tables sized from the graph being scored)
+
 use frogwild_graph::{DiGraph, VertexId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};

@@ -29,7 +29,9 @@ impl LatencyHistogram {
     pub fn record(&mut self, seconds: f64) {
         let micros = (seconds.max(0.0) * 1e6) as u64;
         let index = (u64::BITS - micros.leading_zeros()) as usize;
-        self.buckets[index.min(LATENCY_BUCKETS - 1)] += 1;
+        // lint:allow(indexing, index is clamped to the fixed bucket count)
+        let bucket = &mut self.buckets[index.min(LATENCY_BUCKETS - 1)];
+        *bucket = bucket.saturating_add(1);
         self.count = self.count.saturating_add(1);
         self.sum_seconds += seconds.max(0.0);
         self.max_seconds = self.max_seconds.max(seconds);
@@ -68,7 +70,7 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (index, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= rank {
                 if index == LATENCY_BUCKETS - 1 {
                     // The top bucket is open-ended; the recorded max is its only
@@ -168,11 +170,13 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Records one served query's latency under its kind.
     pub fn record(&mut self, kind: QueryKind, seconds: f64) {
+        // lint:allow(indexing, QueryKind::index is 0..4 by definition)
         self.per_kind[kind.index()].record(seconds);
     }
 
     /// The histogram for one query kind.
     pub fn histogram(&self, kind: QueryKind) -> &LatencyHistogram {
+        // lint:allow(indexing, QueryKind::index is 0..4 by definition)
         &self.per_kind[kind.index()]
     }
 

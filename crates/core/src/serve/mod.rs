@@ -183,6 +183,13 @@ impl QueryOutcome {
     }
 }
 
+impl From<Response> for QueryOutcome {
+    /// A served outcome; the canonical way to build one outside this module.
+    fn from(response: Response) -> Self {
+        QueryOutcome::Served(Box::new(response))
+    }
+}
+
 /// Per-worker counters for one served stream.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct WorkerStats {
@@ -349,7 +356,7 @@ impl<'s, 'g> ServeHandle<'s, 'g> {
 
     fn advance(&mut self, count: usize) -> u64 {
         let start = self.next_seq;
-        self.next_seq += count as u64;
+        self.next_seq = self.next_seq.saturating_add(count as u64);
         start
     }
 }

@@ -48,7 +48,7 @@ pub(super) fn run_stream(
     let mut outcomes: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
     outcomes.resize_with(queries.len(), || None);
 
-    let started = Instant::now();
+    let started = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
         let queue = &queue;
         let handles: Vec<_> = (0..workers)
@@ -61,15 +61,15 @@ pub(super) fn run_stream(
                     };
                     while let Some(batch) = queue.pop() {
                         stats.queue_wait_seconds += batch.submitted.elapsed().as_secs_f64();
-                        stats.batches += 1;
+                        stats.batches = stats.batches.saturating_add(1);
                         for (position, seq, query) in batch.items {
                             let seeded = reseeded(&query, seed_for(session_seed, seq));
-                            let busy = Instant::now();
+                            let busy = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
                             let result = session.execute(&seeded);
                             stats.busy_seconds += busy.elapsed().as_secs_f64();
                             match &result {
-                                Ok(_) => stats.served += 1,
-                                Err(_) => stats.failed += 1,
+                                Ok(_) => stats.served = stats.served.saturating_add(1),
+                                Err(_) => stats.failed = stats.failed.saturating_add(1),
                             }
                             // The receiver outlives every worker; a send can only
                             // fail if the collector already gave up, in which case
@@ -97,7 +97,7 @@ pub(super) fn run_stream(
                 })
                 .collect();
             let batch = Batch {
-                submitted: Instant::now(),
+                submitted: Instant::now(), // lint:allow(timing, queue-wait telemetry only)
                 items,
             };
             let verdict = match config.admission {
@@ -107,7 +107,7 @@ pub(super) fn run_stream(
             };
             if let Err(AdmitError::Full(batch) | AdmitError::Closed(batch)) = verdict {
                 for (position, _, _) in batch.items {
-                    outcomes[position] = Some(QueryOutcome::Rejected);
+                    outcomes[position] = Some(QueryOutcome::Rejected); // lint:allow(indexing, position < queries.len() by construction)
                 }
             }
         }
@@ -116,13 +116,15 @@ pub(super) fn run_stream(
         // Collect results while workers finish draining; the channel ends once the
         // last worker drops its sender.
         for (position, result) in result_rx {
+            // lint:allow(indexing, position < queries.len() by construction)
             outcomes[position] = Some(match result {
-                Ok(response) => QueryOutcome::Served(Box::new(response)),
+                Ok(response) => QueryOutcome::from(response),
                 Err(error) => QueryOutcome::Failed(error),
             });
         }
         handles
             .into_iter()
+            // lint:allow(panic, re-raises a worker thread panic)
             .map(|h| h.join().expect("serve worker panicked"))
             .collect()
     });
@@ -130,7 +132,7 @@ pub(super) fn run_stream(
 
     let outcomes: Vec<QueryOutcome> = outcomes
         .into_iter()
-        .map(|slot| slot.expect("every submitted query has an outcome"))
+        .map(|slot| slot.expect("every submitted query has an outcome")) // lint:allow(panic, every position is filled by the collector or rejection path)
         .collect();
     finish_report(outcomes, worker_stats, wall_seconds)
 }
@@ -140,23 +142,23 @@ pub(super) fn run_stream(
 /// concurrent results are pinned against.
 pub(super) fn run_serial(session: &Session<'_>, start_seq: u64, queries: &[Query]) -> ServeReport {
     let session_seed = session.cluster().seed;
-    let started = Instant::now();
+    let started = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
     let mut stats = WorkerStats::default();
     let outcomes: Vec<QueryOutcome> = queries
         .iter()
         .enumerate()
         .map(|(position, query)| {
             let seeded = reseeded(query, seed_for(session_seed, start_seq + position as u64));
-            let busy = Instant::now();
+            let busy = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
             let result = session.execute(&seeded);
             stats.busy_seconds += busy.elapsed().as_secs_f64();
             match result {
                 Ok(response) => {
-                    stats.served += 1;
-                    QueryOutcome::Served(Box::new(response))
+                    stats.served = stats.served.saturating_add(1);
+                    QueryOutcome::from(response)
                 }
                 Err(error) => {
-                    stats.failed += 1;
+                    stats.failed = stats.failed.saturating_add(1);
                     QueryOutcome::Failed(error)
                 }
             }
@@ -179,12 +181,12 @@ fn finish_report(
     for outcome in &outcomes {
         match outcome {
             QueryOutcome::Served(response) => {
-                served += 1;
+                served = served.saturating_add(1);
                 query_seconds += response.cost.host_seconds;
                 latency.record(response.kind(), response.cost.host_seconds);
             }
-            QueryOutcome::Rejected => rejected += 1,
-            QueryOutcome::Failed(_) => failed += 1,
+            QueryOutcome::Rejected => rejected = rejected.saturating_add(1),
+            QueryOutcome::Failed(_) => failed = failed.saturating_add(1),
         }
     }
     ServeReport {

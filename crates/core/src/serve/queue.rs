@@ -21,6 +21,9 @@ pub enum AdmitError<T> {
     Closed(T),
 }
 
+// Lock poisoning is recovered rather than propagated: the queue's invariants are a
+// `VecDeque` plus a flag, both valid at every wait point, so a panicking peer cannot
+// leave the state half-updated. `into_inner` keeps the other workers alive.
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -62,7 +65,11 @@ impl<T> Bounded<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
     }
 
     /// `true` when nothing is queued.
@@ -73,9 +80,9 @@ impl<T> Bounded<T> {
     /// Blocks until there is space, then enqueues. Fails only when the queue is
     /// closed while waiting.
     pub fn push(&self, item: T) -> Result<(), AdmitError<T>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         if state.closed {
             return Err(AdmitError::Closed(item));
@@ -88,7 +95,7 @@ impl<T> Bounded<T> {
 
     /// Enqueues if there is space right now; otherwise hands the item straight back.
     pub fn try_push(&self, item: T) -> Result<(), AdmitError<T>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
             return Err(AdmitError::Closed(item));
         }
@@ -104,10 +111,11 @@ impl<T> Bounded<T> {
     /// Waits up to `timeout` for space, then enqueues; hands the item back as
     /// [`AdmitError::Full`] when the queue stayed at capacity the whole time.
     pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), AdmitError<T>> {
+        // lint:allow(timing, the admission timeout is wall-clock by definition)
         let deadline = std::time::Instant::now() + timeout;
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while state.items.len() >= self.capacity && !state.closed {
-            let now = std::time::Instant::now();
+            let now = std::time::Instant::now(); // lint:allow(timing, admission-timeout bookkeeping only)
             let Some(remaining) = deadline
                 .checked_duration_since(now)
                 .filter(|d| !d.is_zero())
@@ -117,7 +125,7 @@ impl<T> Bounded<T> {
             let (guard, _timed_out) = self
                 .not_full
                 .wait_timeout(state, remaining)
-                .expect("queue poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             state = guard;
         }
         if state.closed {
@@ -132,7 +140,7 @@ impl<T> Bounded<T> {
     /// Blocks until an item is available and dequeues it; `None` once the queue is
     /// closed and fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -142,14 +150,17 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Closes the queue: pending and future pushes fail, consumers drain what is
     /// left and then observe end-of-stream.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }

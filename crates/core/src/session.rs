@@ -188,7 +188,7 @@ impl<'g> SessionBuilder<'g> {
         self.execution.validate()?;
         self.serve.validate()?;
         let cluster = ClusterConfig::new(self.machines, self.seed);
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(timing, host-seconds telemetry only; excluded from determinism)
         let pg = PartitionedGraph::build(self.graph, self.machines, &self.partitioner, self.seed);
         let partition_seconds = started.elapsed().as_secs_f64();
         let replication_factor = pg.placement().replication_factor();
@@ -594,6 +594,7 @@ pub enum ResponseDetail {
 /// The struct is `#[non_exhaustive]`: construct it only through [`Session::query`] /
 /// [`Session::serve`], and destructure with a `..` rest pattern, so future response
 /// fields are non-breaking.
+// lint:allow(non-exhaustive-ctor, output-only type; Session::query is its constructor)
 #[non_exhaustive]
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
@@ -897,7 +898,7 @@ impl<'g> Session<'g> {
         if query.k() == 0 {
             return Err(Error::query("k must be positive"));
         }
-        let started = Instant::now();
+        let started = Instant::now(); // lint:allow(timing, host-seconds telemetry only; excluded from determinism)
         let response = match query {
             Query::TopK { k, config } => match &self.index {
                 Some(si) => {
@@ -934,15 +935,19 @@ impl<'g> Session<'g> {
                 // The response carries the final run's estimate, but the pilot's
                 // traffic is real cost of answering this query — fold it in.
                 let mut response = self.engine_response(report.run, config.k, detail, started);
-                response.cost.network_bytes += report.pilot.cost.network_bytes;
-                response.cost.network_messages += report.pilot.cost.network_messages;
-                response.cost.simulated_seconds += report.pilot.cost.simulated_total_seconds;
-                response.cost.simulated_cpu_seconds += report.pilot.cost.simulated_cpu_seconds;
-                response.cost.supersteps += report.pilot.cost.supersteps;
-                response.cost.active_vertices += report.pilot.cost.active_vertices;
-                response.cost.skipped_scatters += report.pilot.cost.skipped_scatters;
-                response.cost.routed_messages += report.pilot.cost.routed_messages;
-                response.cost.staleness_lag += report.pilot.cost.staleness_lag;
+                let cost = &mut response.cost;
+                let pilot = &report.pilot.cost;
+                cost.network_bytes = cost.network_bytes.saturating_add(pilot.network_bytes);
+                cost.network_messages =
+                    cost.network_messages.saturating_add(pilot.network_messages);
+                cost.simulated_seconds += pilot.simulated_total_seconds;
+                cost.simulated_cpu_seconds += pilot.simulated_cpu_seconds;
+                cost.supersteps = cost.supersteps.saturating_add(pilot.supersteps);
+                cost.active_vertices = cost.active_vertices.saturating_add(pilot.active_vertices);
+                cost.skipped_scatters =
+                    cost.skipped_scatters.saturating_add(pilot.skipped_scatters);
+                cost.routed_messages = cost.routed_messages.saturating_add(pilot.routed_messages);
+                cost.staleness_lag = cost.staleness_lag.saturating_add(pilot.staleness_lag);
                 response.cost.max_inbox_depth = response
                     .cost
                     .max_inbox_depth
@@ -1010,6 +1015,7 @@ impl<'g> Session<'g> {
             QueryCost::from_index_serve(&served.stats, self.stats.replication_factor, started);
         let ranking = crate::topk::top_k(&served.estimate, k)
             .into_iter()
+            // lint:allow(indexing, vertex ids come from top_k over this same estimate vector)
             .map(|v| (v, served.estimate[v as usize]))
             .collect();
         Response {
@@ -1032,6 +1038,7 @@ impl<'g> Session<'g> {
         let ranking = report
             .top_k(k)
             .into_iter()
+            // lint:allow(indexing, vertex ids come from top_k over this same estimate vector)
             .map(|v| (v, report.estimate[v as usize]))
             .collect();
         Response {
@@ -1196,7 +1203,7 @@ pub fn serve_ppr(
         teleport_probability,
         method,
         1.0,
-        Instant::now(),
+        Instant::now(), // lint:allow(timing, stamps the host started instant of this query)
     )
 }
 
@@ -1342,6 +1349,7 @@ fn ppr_response_over(
     };
     let ranking = crate::topk::top_k(&estimate, k)
         .into_iter()
+        // lint:allow(indexing, vertex ids come from top_k over this same estimate vector)
         .map(|v| (v, estimate[v as usize]))
         .collect();
     Ok(Response {

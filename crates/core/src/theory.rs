@@ -17,6 +17,8 @@
 //! * [`mixing_profile`] — the exact l1 distance `‖Qᵗu − π‖₁` per step, used to overlay
 //!   Lemma 14's geometric-decay bound against the chain's real mixing behaviour.
 
+// lint:allow-file(indexing, dense tables are sized by the same loop bounds that index them)
+
 use frogwild_graph::{DiGraph, VertexId};
 use rand::Rng;
 

@@ -30,7 +30,8 @@ pub fn top_k(scores: &[f64], k: usize) -> Vec<VertexId> {
             continue;
         }
         // heap is sorted descending; the last element is the current threshold
-        let worst = *heap.last().unwrap();
+        // (non-empty: k >= 1 past the early return).
+        let Some(&worst) = heap.last() else { continue };
         if compare(scores, v, worst) == std::cmp::Ordering::Less {
             // v beats the current worst: insert in sorted position, drop the worst
             let pos = heap
@@ -45,7 +46,9 @@ pub fn top_k(scores: &[f64], k: usize) -> Vec<VertexId> {
 
 /// Descending-score, ascending-id comparison.
 fn compare(scores: &[f64], a: VertexId, b: VertexId) -> std::cmp::Ordering {
+    // lint:allow(indexing, compare is only called with vertex ids of the scores slice)
     scores[b as usize]
+        // lint:allow(indexing, compare is only called with vertex ids of the scores slice)
         .partial_cmp(&scores[a as usize])
         .unwrap_or(std::cmp::Ordering::Equal)
         .then(a.cmp(&b))
@@ -53,6 +56,7 @@ fn compare(scores: &[f64], a: VertexId, b: VertexId) -> std::cmp::Ordering {
 
 /// The total score mass of a set of vertices under `scores`.
 pub fn set_mass(scores: &[f64], set: &[VertexId]) -> f64 {
+    // lint:allow(indexing, callers pass vertex ids of the scores slice)
     set.iter().map(|&v| scores[v as usize]).sum()
 }
 

@@ -7,6 +7,8 @@
 //! configuration, applying the memory budget, and flattening the per-machine batches
 //! into the CSR-style arena of [`WalkIndex`].
 
+// lint:allow-file(indexing, CSR assembly; offsets come from a counting pass over the same segments)
+
 use std::time::Instant;
 
 use frogwild_engine::{generate_walk_segments, ObliviousPartitioner, PartitionedGraph};
@@ -72,7 +74,7 @@ pub fn build_walk_index(
     let r = config.effective_segments(n)?;
     let l = config.segment_length;
 
-    let started = Instant::now();
+    let started = Instant::now(); // lint:allow(timing, host-seconds telemetry only; excluded from determinism)
     let batches = generate_walk_segments(graph, pg, r, l, config.seed, config.parallel);
 
     // Flatten the per-machine batches into vertex-major CSR form. First pass: collect

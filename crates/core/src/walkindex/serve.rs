@@ -37,6 +37,8 @@
 //! query seed, and the source, so the same query against the same index always returns
 //! the same response.
 
+// lint:allow-file(indexing, hot path; segment offsets were validated when the index was built)
+
 use frogwild_engine::rng::derived_rng;
 use frogwild_graph::{DiGraph, VertexId};
 use rand::rngs::SmallRng;

@@ -8,6 +8,8 @@
 //! anywhere. Segments are at most `L` hops long and shorter only when the walk reached a
 //! dangling vertex (a sink) early.
 
+// lint:allow-file(indexing, segment offsets are validated on construction)
+
 use frogwild_graph::VertexId;
 
 /// A precomputed, immutable arena of random-walk segments over one graph.

@@ -38,7 +38,9 @@
 //! machine)`, so any worker count, batch size, or serial execution produces identical
 //! results for identical configurations.
 
-use std::collections::{BTreeMap, HashMap};
+// lint:allow-file(indexing, hot path: every index derives from shard-local offsets validated at build time)
+
+use std::collections::{btree_map, BTreeMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -319,8 +321,8 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
 
         // Message inboxes: inboxes[machine] maps local index (of a locally mastered
         // vertex) to the combined incoming message.
-        let mut inboxes: Vec<HashMap<u32, P::Message>> =
-            (0..num_machines).map(|_| HashMap::new()).collect();
+        let mut inboxes: Vec<BTreeMap<u32, P::Message>> =
+            (0..num_machines).map(|_| BTreeMap::new()).collect();
 
         // Initial frontier.
         let mut frontier: Frontier = match initial {
@@ -350,7 +352,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                         .graph
                         .shard(master)
                         .local_index(v)
-                        .expect("master shard holds the vertex");
+                        .expect("master shard holds the vertex"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
                     inboxes[master.index()].insert(local, combined);
                     active.push(v);
                     if current.is_none() {
@@ -398,7 +400,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 frontier = Frontier::from_unsorted(vertices);
             }
 
-            let start = Instant::now();
+            let start = Instant::now(); // lint:allow(timing, host-seconds telemetry only; never feeds results)
             let (mut step_metrics, routed) =
                 self.superstep(superstep, &frontier, &mut caches, &mut inboxes);
             step_metrics.host_seconds = start.elapsed().as_secs_f64();
@@ -465,7 +467,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         let states: Vec<P::State> = (0..num_vertices as VertexId)
             .map(|v| {
                 let m = placement.master(v);
-                let local = self.graph.shard(m).local_index(v).expect("master replica");
+                let local = self.graph.shard(m).local_index(v).expect("master replica"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
                 caches[m.index()][local as usize].clone()
             })
             .collect();
@@ -506,25 +508,27 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         &self,
         superstep: usize,
         staged: &mut BTreeMap<usize, Vec<StagedMessage<P::Message>>>,
-        inboxes: &mut [HashMap<u32, P::Message>],
+        inboxes: &mut [BTreeMap<u32, P::Message>],
     ) -> DrainResult {
         let mut activations = Vec::new();
         let mut lag = 0u64;
-        while let Some(&key) = staged.keys().next() {
-            if key > superstep {
+        while staged
+            .first_key_value()
+            .is_some_and(|(&key, _)| key <= superstep)
+        {
+            let Some((_, batch)) = staged.pop_first() else {
                 break;
-            }
-            let batch = staged.remove(&key).expect("key observed above");
+            };
             for staged_msg in batch {
                 lag += staged_msg.lag;
                 match inboxes[staged_msg.machine].entry(staged_msg.local) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                    btree_map::Entry::Occupied(mut e) => {
                         let combined = self
                             .program
                             .combine_messages(e.get().clone(), staged_msg.message);
                         e.insert(combined);
                     }
-                    std::collections::hash_map::Entry::Vacant(e) => {
+                    btree_map::Entry::Vacant(e) => {
                         e.insert(staged_msg.message);
                         let vertex = self
                             .graph
@@ -545,7 +549,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         superstep: usize,
         frontier: &Frontier,
         caches: &mut [Vec<P::State>],
-        inboxes: &mut [HashMap<u32, P::Message>],
+        inboxes: &mut [BTreeMap<u32, P::Message>],
     ) -> (SuperstepMetrics, Vec<RoutedMessage<P::Message>>) {
         let num_machines = self.graph.num_machines();
         let placement = self.graph.placement();
@@ -559,8 +563,8 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         let active = frontier.as_slice();
 
         // ------------------------------------------------------------------ gather --
-        let mut accums: Vec<HashMap<u32, P::Accum>> =
-            (0..num_machines).map(|_| HashMap::new()).collect();
+        let mut accums: Vec<BTreeMap<u32, P::Accum>> =
+            (0..num_machines).map(|_| BTreeMap::new()).collect();
         if self.program.gather_direction() == EdgeDirection::In {
             // Which local vertices must gather on each machine.
             let mut gather_tasks: Vec<Vec<u32>> = vec![Vec::new(); num_machines];
@@ -614,13 +618,13 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                         .graph
                         .shard(master)
                         .local_index(vertex)
-                        .expect("master replica");
+                        .expect("master replica"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
                     match accums[master.index()].entry(local) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                        btree_map::Entry::Occupied(mut e) => {
                             let combined = self.program.combine_accums(e.get().clone(), accum);
                             e.insert(combined);
                         }
-                        std::collections::hash_map::Entry::Vacant(e) => {
+                        btree_map::Entry::Vacant(e) => {
                             e.insert(accum);
                         }
                     }
@@ -637,7 +641,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 .graph
                 .shard(master)
                 .local_index(v)
-                .expect("master replica");
+                .expect("master replica"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
             let accum = accums[master.index()].remove(&local);
             let message = inboxes[master.index()].remove(&local);
             apply_tasks[master.index()].push(ApplyTask {
@@ -695,7 +699,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 .graph
                 .shard(master)
                 .local_index(v)
-                .expect("master replica");
+                .expect("master replica"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
             let delta = {
                 let cursor = &mut delta_cursors[master.index()];
                 let d = deltas[master.index()][*cursor];
@@ -793,7 +797,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     .graph
                     .shard(m)
                     .local_index(v)
-                    .expect("replica exists on participating machine");
+                    .expect("replica exists on participating machine"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
                 sync_receives[m.index()].push(SyncReceive {
                     local,
                     state: master_state.clone(),
@@ -814,7 +818,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 .collect();
             let num_participating = scatterers.len();
             for (rank, &m) in scatterers.iter().enumerate() {
-                let local = self.graph.shard(m).local_index(v).expect("replica");
+                let local = self.graph.shard(m).local_index(v).expect("replica"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
                 scatter_tasks[m.index()].push(ScatterTask {
                     local,
                     vertex: v,
@@ -888,7 +892,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     .graph
                     .shard(master)
                     .local_index(dst)
-                    .expect("master replica");
+                    .expect("master replica"); // lint:allow(panic, placement invariant: the shard indexes its vertex)
                 routed.push(RoutedMessage {
                     sender: machine,
                     machine: master.index(),
@@ -958,7 +962,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .flat_map(|h| h.join().expect("batch worker panicked")) // lint:allow(panic, re-raises a worker thread panic)
                 .collect()
         });
         indexed.sort_unstable_by_key(|(i, _)| *i);

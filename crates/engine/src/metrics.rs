@@ -33,17 +33,21 @@ impl NetworkStats {
         }
     }
 
-    /// Records `bytes` sent by `from_machine` to a different machine.
+    /// Records `bytes` sent by `from_machine` to a different machine. Counters
+    /// saturate: a long-lived accumulation pins at the ceiling, never wraps.
     pub fn record(&mut self, from_machine: usize, bytes: u64) {
-        self.bytes_sent += bytes;
-        self.messages_sent += 1;
-        self.bytes_per_machine[from_machine] += bytes;
+        debug_assert!(from_machine < self.bytes_per_machine.len());
+        self.bytes_sent = self.bytes_sent.saturating_add(bytes);
+        self.messages_sent = self.messages_sent.saturating_add(1);
+        if let Some(per) = self.bytes_per_machine.get_mut(from_machine) {
+            *per = per.saturating_add(bytes);
+        }
     }
 
     /// Merges another counter into this one (used when aggregating per-superstep stats).
     pub fn merge(&mut self, other: &NetworkStats) {
-        self.bytes_sent += other.bytes_sent;
-        self.messages_sent += other.messages_sent;
+        self.bytes_sent = self.bytes_sent.saturating_add(other.bytes_sent);
+        self.messages_sent = self.messages_sent.saturating_add(other.messages_sent);
         if self.bytes_per_machine.len() < other.bytes_per_machine.len() {
             self.bytes_per_machine
                 .resize(other.bytes_per_machine.len(), 0);
@@ -53,7 +57,7 @@ impl NetworkStats {
             .iter_mut()
             .zip(&other.bytes_per_machine)
         {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
     }
 
@@ -94,9 +98,12 @@ impl WorkStats {
         }
     }
 
-    /// Total work operations across all machines.
+    /// Total work operations across all machines. Saturating: three pinned
+    /// counters must not wrap back past zero when summed.
     pub fn total_ops(&self) -> u64 {
-        self.gather_ops + self.apply_ops + self.scatter_ops
+        self.gather_ops
+            .saturating_add(self.apply_ops)
+            .saturating_add(self.scatter_ops)
     }
 
     /// The busiest machine's operation count — the compute critical path of a superstep.
@@ -104,19 +111,20 @@ impl WorkStats {
         self.ops_per_machine.iter().copied().max().unwrap_or(0)
     }
 
-    /// Merges another counter into this one.
+    /// Merges another counter into this one. Saturating, like
+    /// [`NetworkStats::merge`].
     pub fn merge(&mut self, other: &WorkStats) {
-        self.gather_ops += other.gather_ops;
-        self.apply_ops += other.apply_ops;
-        self.scatter_ops += other.scatter_ops;
-        self.sync_ops += other.sync_ops;
-        self.skipped_syncs += other.skipped_syncs;
-        self.skipped_scatters += other.skipped_scatters;
+        self.gather_ops = self.gather_ops.saturating_add(other.gather_ops);
+        self.apply_ops = self.apply_ops.saturating_add(other.apply_ops);
+        self.scatter_ops = self.scatter_ops.saturating_add(other.scatter_ops);
+        self.sync_ops = self.sync_ops.saturating_add(other.sync_ops);
+        self.skipped_syncs = self.skipped_syncs.saturating_add(other.skipped_syncs);
+        self.skipped_scatters = self.skipped_scatters.saturating_add(other.skipped_scatters);
         if self.ops_per_machine.len() < other.ops_per_machine.len() {
             self.ops_per_machine.resize(other.ops_per_machine.len(), 0);
         }
         for (a, b) in self.ops_per_machine.iter_mut().zip(&other.ops_per_machine) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
     }
 }
@@ -397,10 +405,8 @@ impl RunMetrics {
         }
         let mut per_machine = vec![0u64; self.num_machines];
         for step in &self.supersteps {
-            for (m, &ops) in step.work.ops_per_machine.iter().enumerate() {
-                if m < per_machine.len() {
-                    per_machine[m] += ops;
-                }
+            for (acc, &ops) in per_machine.iter_mut().zip(&step.work.ops_per_machine) {
+                *acc = acc.saturating_add(ops);
             }
         }
         let max = per_machine.iter().copied().max().unwrap_or(0) as f64;
@@ -455,6 +461,54 @@ mod tests {
         assert_eq!(w.skipped_syncs, 3);
         assert_eq!(w.skipped_scatters, 4);
         assert_eq!(w.ops_per_machine, vec![30, 12]);
+    }
+
+    #[test]
+    fn counters_saturate_near_u64_max() {
+        // A long-lived serving session must degrade to pinned counters, never
+        // wrap (or panic in debug builds) mid-stream.
+        let mut net = NetworkStats::new(1);
+        net.bytes_sent = u64::MAX - 10;
+        net.bytes_per_machine[0] = u64::MAX - 10;
+        net.record(0, 100);
+        assert_eq!(net.bytes_sent, u64::MAX);
+        assert_eq!(net.bytes_per_machine[0], u64::MAX);
+        let mut other = NetworkStats::new(1);
+        other.bytes_sent = u64::MAX;
+        other.messages_sent = u64::MAX;
+        other.bytes_per_machine[0] = 7;
+        net.merge(&other);
+        assert_eq!(net.bytes_sent, u64::MAX);
+        assert_eq!(net.messages_sent, u64::MAX);
+        assert_eq!(net.bytes_per_machine[0], u64::MAX);
+
+        let mut w = WorkStats::new(1);
+        w.gather_ops = u64::MAX - 1;
+        w.scatter_ops = u64::MAX;
+        w.ops_per_machine[0] = u64::MAX - 2;
+        let mut o = WorkStats::new(1);
+        o.gather_ops = 5;
+        o.apply_ops = 3;
+        o.ops_per_machine = vec![100];
+        w.merge(&o);
+        assert_eq!(w.gather_ops, u64::MAX);
+        assert_eq!(w.ops_per_machine[0], u64::MAX);
+        // The pinned per-kind counters must not wrap when totalled either.
+        assert_eq!(w.total_ops(), u64::MAX);
+
+        let mut run = RunMetrics {
+            num_machines: 1,
+            ..RunMetrics::default()
+        };
+        run.supersteps.push(SuperstepMetrics {
+            work: w.clone(),
+            ..SuperstepMetrics::default()
+        });
+        run.supersteps.push(SuperstepMetrics {
+            work: w,
+            ..SuperstepMetrics::default()
+        });
+        assert!((run.work_imbalance() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -55,11 +55,13 @@ impl Partitioner for GridPartitioner {
                 // these coincide or fall inside both sets anyway.
                 let cand_a = sr * cols + dc;
                 let cand_b = dr * cols + sc;
+                // lint:allow(indexing, grid candidates are machine ids below num_machines)
                 let chosen = if load[cand_a] <= load[cand_b] {
                     cand_a
                 } else {
                     cand_b
                 };
+                // lint:allow(indexing, grid candidates are machine ids below num_machines)
                 load[chosen] += 1;
                 MachineId::from(chosen.min(num_machines - 1))
             })

@@ -53,6 +53,7 @@ impl EdgeAssignment {
     pub fn edges_per_machine(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.num_machines];
         for m in &self.machines {
+            // lint:allow(indexing, machine indices are below num_machines by construction)
             counts[m.index()] += 1;
         }
         counts

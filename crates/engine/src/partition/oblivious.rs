@@ -1,5 +1,7 @@
 //! Greedy ("oblivious") edge placement — PowerGraph's default ingress heuristic.
 
+// lint:allow-file(indexing, per-machine load tables indexed by machine ids below num_machines)
+
 use super::{EdgeAssignment, Partitioner};
 use crate::cluster::MachineId;
 use crate::rng;
@@ -106,12 +108,14 @@ impl Partitioner for ObliviousPartitioner {
             } else {
                 best_in(&all, &load, tie_seed)
             }
+            // lint:allow(panic, the candidate set always contains every machine as a fallback)
             .expect("at least one machine is always available");
 
             // Balance cap: if the greedy pick is already overloaded relative to the
             // average, fall back to the globally least-loaded machine.
             let average = (idx as f64 + 1.0) / num_machines as f64;
             if load[chosen] as f64 > BALANCE_SLACK * average + 1.0 {
+                // lint:allow(panic, a cluster has at least one machine by construction)
                 chosen = best_in(&all, &load, tie_seed).expect("cluster is non-empty");
             }
 

@@ -78,6 +78,7 @@ pub fn generate_walk_segments(
                     if neighbors.is_empty() {
                         break;
                     }
+                    // lint:allow(indexing, gen_range is bounded by the neighbor count)
                     position = neighbors[rng.gen_range(0..neighbors.len())];
                     hops.push(position);
                 }
@@ -100,6 +101,7 @@ pub fn generate_walk_segments(
                 .collect();
             handles
                 .into_iter()
+                // lint:allow(panic, re-raises a worker thread panic)
                 .map(|h| h.join().expect("segment generation worker panicked"))
                 .collect()
         })

@@ -161,6 +161,7 @@ impl GraphBuilder {
         // Apply the dangling policy.
         let mut has_out = vec![false; num_vertices];
         for &(s, _) in &edges {
+            // lint:allow(indexing, edge endpoints were validated against num_vertices)
             has_out[s as usize] = true;
         }
         match dangling {

@@ -6,6 +6,8 @@
 //! dense `u32` values in `0..num_vertices()`, matching how PowerGraph re-numbers vertices
 //! at ingress time.
 
+// lint:allow-file(indexing, CSR invariants - monotone offsets and ids below n - are validated at build and load)
+
 use serde::{Deserialize, Serialize};
 
 /// Dense vertex identifier. Graphs in the paper's evaluation have up to 41.6M vertices,
@@ -187,7 +189,7 @@ impl DiGraph {
             ("out", &self.out_offsets, &self.out_targets),
             ("in", &self.in_offsets, &self.in_sources),
         ] {
-            if offsets[0] != 0 || *offsets.last().unwrap() != targets.len() {
+            if offsets.first() != Some(&0) || offsets.last() != Some(&targets.len()) {
                 return Err(crate::Error::graph(format!(
                     "{name} offsets do not cover target array"
                 )));

@@ -50,6 +50,7 @@ pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
             }
         }
     }
+    // lint:allow(panic, generator edges are in range by construction)
     b.dangling_policy(DanglingPolicy::SelfLoop).build().unwrap()
 }
 
@@ -71,6 +72,7 @@ pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
     b.dedup(true)
         .dangling_policy(DanglingPolicy::SelfLoop)
         .build()
+        // lint:allow(panic, generator edges are in range by construction)
         .unwrap()
 }
 

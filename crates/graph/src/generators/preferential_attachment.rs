@@ -76,6 +76,7 @@ pub fn preferential_attachment<R: Rng>(
     rng: &mut R,
 ) -> DiGraph {
     if let Err(e) = params.validate() {
+        // lint:allow(panic, documented precondition: invalid generator parameters are a caller bug)
         panic!("{e}");
     }
     let m = params.edges_per_vertex;
@@ -108,6 +109,7 @@ pub fn preferential_attachment<R: Rng>(
             let dst = if rng.gen::<f64>() < params.uniform_mix {
                 rng.gen_range(0..v) as VertexId
             } else {
+                // lint:allow(indexing, gen_range is bounded by the target-pool length)
                 targets[rng.gen_range(0..targets.len())]
             };
             // Avoid trivial self-loops; the target must already exist so dst < vid holds
@@ -123,6 +125,7 @@ pub fn preferential_attachment<R: Rng>(
     builder
         .dangling_policy(DanglingPolicy::SelfLoop)
         .build()
+        // lint:allow(panic, generator edges are in range by construction)
         .expect("preferential-attachment edges are constructed in range")
 }
 

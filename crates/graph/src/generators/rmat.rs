@@ -83,6 +83,7 @@ impl RmatParams {
 pub fn rmat<R: Rng>(num_vertices: usize, params: RmatParams, rng: &mut R) -> DiGraph {
     assert!(num_vertices > 0, "rmat requires at least one vertex");
     if let Err(e) = params.validate() {
+        // lint:allow(panic, documented precondition: invalid generator parameters are a caller bug)
         panic!("{e}");
     }
 
@@ -105,6 +106,7 @@ pub fn rmat<R: Rng>(num_vertices: usize, params: RmatParams, rng: &mut R) -> DiG
             generated += 1;
         }
     }
+    // lint:allow(panic, generator edges are in range by construction)
     b.dangling_policy(DanglingPolicy::SelfLoop).build().unwrap()
 }
 

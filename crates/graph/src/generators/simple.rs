@@ -11,6 +11,7 @@ pub fn path(n: usize) -> DiGraph {
     for v in 0..n - 1 {
         b.add_edge_unchecked(v as VertexId, (v + 1) as VertexId);
     }
+    // lint:allow(panic, generator edges are in range by construction)
     b.dangling_policy(DanglingPolicy::SelfLoop).build().unwrap()
 }
 
@@ -21,6 +22,7 @@ pub fn cycle(n: usize) -> DiGraph {
     for v in 0..n {
         b.add_edge_unchecked(v as VertexId, ((v + 1) % n) as VertexId);
     }
+    // lint:allow(panic, generator edges are in range by construction)
     b.build().unwrap()
 }
 
@@ -34,6 +36,7 @@ pub fn star(n: usize) -> DiGraph {
         b.add_edge_unchecked(v as VertexId, 0);
         b.add_edge_unchecked(0, v as VertexId);
     }
+    // lint:allow(panic, generator edges are in range by construction)
     b.build().unwrap()
 }
 
@@ -50,6 +53,7 @@ pub fn complete(n: usize) -> DiGraph {
             }
         }
     }
+    // lint:allow(panic, generator edges are in range by construction)
     b.build().unwrap()
 }
 
@@ -73,6 +77,7 @@ pub fn two_communities(size: usize) -> DiGraph {
     // bridges between the communities
     b.add_edge_unchecked(0, size as VertexId);
     b.add_edge_unchecked(size as VertexId, 0);
+    // lint:allow(panic, generator edges are in range by construction)
     b.build().unwrap()
 }
 

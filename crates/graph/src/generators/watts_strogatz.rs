@@ -70,6 +70,7 @@ pub fn watts_strogatz<R: Rng>(
     rng: &mut R,
 ) -> DiGraph {
     if let Err(e) = params.validate() {
+        // lint:allow(panic, documented precondition: invalid generator parameters are a caller bug)
         panic!("{e}");
     }
     let k = params.neighbors;
@@ -102,6 +103,7 @@ pub fn watts_strogatz<R: Rng>(
         .dedup(true)
         .dangling_policy(DanglingPolicy::SelfLoop)
         .build()
+        // lint:allow(panic, generator edges are in range by construction)
         .expect("Watts–Strogatz edges are constructed in range")
 }
 

@@ -10,7 +10,7 @@
 use crate::builder::{DanglingPolicy, GraphBuilder};
 use crate::csr::{DiGraph, VertexId};
 use crate::{GraphError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -47,7 +47,7 @@ impl Default for EdgeListOptions {
 pub fn read_edge_list<R: Read>(
     reader: R,
     options: &EdgeListOptions,
-) -> Result<(DiGraph, HashMap<u64, VertexId>)> {
+) -> Result<(DiGraph, BTreeMap<u64, VertexId>)> {
     let reader = BufReader::new(reader);
     let mut raw_edges: Vec<(u64, u64)> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
@@ -80,7 +80,7 @@ pub fn read_edge_list<R: Read>(
         }
     }
 
-    let mut mapping: HashMap<u64, VertexId> = HashMap::new();
+    let mut mapping: BTreeMap<u64, VertexId> = BTreeMap::new();
     let edges: Vec<(VertexId, VertexId)>;
     let num_vertices: usize;
     if options.relabel {
@@ -128,7 +128,7 @@ pub fn read_edge_list<R: Read>(
 pub fn read_edge_list_file<P: AsRef<Path>>(
     path: P,
     options: &EdgeListOptions,
-) -> Result<(DiGraph, HashMap<u64, VertexId>)> {
+) -> Result<(DiGraph, BTreeMap<u64, VertexId>)> {
     let file = std::fs::File::open(path)?;
     read_edge_list(file, options)
 }

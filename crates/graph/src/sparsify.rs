@@ -56,6 +56,7 @@ pub fn uniform_sparsify<R: Rng>(
             }
         }
         if !kept_any && mode == SparsifyMode::KeepAtLeastOne {
+            // lint:allow(indexing, gen_range is bounded by the neighbor count)
             let pick = neighbors[rng.gen_range(0..neighbors.len())];
             b.add_edge_unchecked(v, pick);
         }
@@ -64,6 +65,7 @@ pub fn uniform_sparsify<R: Rng>(
         SparsifyMode::KeepAtLeastOne => DanglingPolicy::SelfLoop, // only isolated inputs remain
         SparsifyMode::Independent => DanglingPolicy::SelfLoop,
     };
+    // lint:allow(panic, builder input is a subset of an already-validated graph)
     b.dangling_policy(policy).build().unwrap()
 }
 

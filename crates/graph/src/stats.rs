@@ -6,6 +6,8 @@
 //! estimator for the tail exponent, applicable both to degree sequences and to PageRank
 //! score vectors.
 
+// lint:allow-file(indexing, histograms are sized from the maximum observed value before indexing)
+
 use crate::csr::DiGraph;
 
 /// Summary statistics of a degree sequence.
@@ -96,7 +98,7 @@ pub fn hill_tail_exponent(values: &[f64], k: usize) -> Option<f64> {
     if positive.len() < 2 || k < 2 {
         return None;
     }
-    positive.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    positive.sort_unstable_by(|a, b| b.total_cmp(a));
     let k = k.min(positive.len() - 1);
     let threshold = positive[k];
     if threshold <= 0.0 {
@@ -129,7 +131,7 @@ pub fn gini_coefficient(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     let total: f64 = sorted.iter().sum();
     if total <= 0.0 {

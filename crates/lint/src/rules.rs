@@ -1,0 +1,877 @@
+//! The rule set: shallow token-pattern checks encoding the project invariants.
+//!
+//! Every rule is documented in [`RULES`] (`--list-rules` prints the table).
+//! Rules never see comments or string contents — the lexer strips them — and
+//! skip `#[cfg(test)]` regions. Findings can be suppressed by a
+//! `// lint:allow(rule, reason)` on the same or the preceding line, or a
+//! `// lint:allow-file(rule, reason)` anywhere in the file.
+
+use crate::lexer::{lex, LexOutput, Token, TokenKind};
+
+/// Machine name + one-line doc for one rule.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub doc: &'static str,
+}
+
+/// The registry, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "hash-container",
+        doc: "std HashMap/HashSet/DefaultHasher/RandomState in library code: iteration \
+              order is nondeterministic, use BTreeMap/BTreeSet or sorted vecs",
+    },
+    RuleInfo {
+        name: "timing",
+        doc: "Instant::now/SystemTime/thread::current clock or thread-identity reads \
+              outside the allowlisted timing modules (serve/latency, bench, cli)",
+    },
+    RuleInfo {
+        name: "panic",
+        doc: ".unwrap()/.expect()/panic!/unreachable!/todo!/unimplemented! in library \
+              code: return a typed frogwild::Error or document with lint:allow",
+    },
+    RuleInfo {
+        name: "indexing",
+        doc: "slice/array indexing `x[..]` in library code can panic: prefer .get()/\
+              iterators, or document the bounds invariant with lint:allow",
+    },
+    RuleInfo {
+        name: "counter-arith",
+        doc: "bare `+=`/`*=` or a narrowing `as` cast on a stat counter in an \
+              accumulator file (metrics.rs/session.rs/serve): use saturating_*/try_from",
+    },
+    RuleInfo {
+        name: "non-exhaustive-ctor",
+        doc: "a #[non_exhaustive] pub struct/enum in crates/core has no public \
+              constructor helper (pub fn returning Self, or Default/From/FromStr impl)",
+    },
+    RuleInfo {
+        name: "allow-syntax",
+        doc: "malformed lint:allow comment (missing reason) or one naming an unknown rule",
+    },
+];
+
+/// Is `name` a registered rule?
+pub fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// Which crate a file belongs to, for rule scoping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// `crates/core` — all library rules plus the ctor rule.
+    Core,
+    /// `crates/engine` / `crates/graph` — all library rules.
+    Engine,
+    Graph,
+    /// `crates/cli`, `crates/bench`, `crates/lint`, the root umbrella crate:
+    /// binaries and dev tooling, exempt from the library rules.
+    Tool,
+    /// Anything else (scratch files, fixtures): treated like `Core`, the
+    /// strictest scope, so seeding a violation anywhere trips the lint.
+    Unknown,
+}
+
+impl Scope {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn classify(path: &str) -> Scope {
+        if path.starts_with("crates/core/") {
+            Scope::Core
+        } else if path.starts_with("crates/engine/") {
+            Scope::Engine
+        } else if path.starts_with("crates/graph/") {
+            Scope::Graph
+        } else if path.starts_with("crates/cli/")
+            || path.starts_with("crates/bench/")
+            || path.starts_with("crates/lint/")
+            || path.starts_with("src/")
+        {
+            Scope::Tool
+        } else {
+            Scope::Unknown
+        }
+    }
+
+    fn library(self) -> bool {
+        matches!(
+            self,
+            Scope::Core | Scope::Engine | Scope::Graph | Scope::Unknown
+        )
+    }
+
+    fn ctor_rule(self) -> bool {
+        matches!(self, Scope::Core | Scope::Unknown)
+    }
+}
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// A `#[non_exhaustive]` pub type declaration, pending the crate-level join.
+#[derive(Clone, Debug)]
+pub struct TypeDecl {
+    pub name: String,
+    pub path: String,
+    pub line: u32,
+    /// Suppressed by a lint:allow at the declaration.
+    pub allowed: bool,
+}
+
+/// Everything one file's analysis produces.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    /// Declarations feeding the crate-level `non-exhaustive-ctor` join.
+    pub non_exhaustive: Vec<TypeDecl>,
+    /// Type names this file provides public-constructor evidence for.
+    pub ctor_evidence: Vec<String>,
+}
+
+/// Keywords that may directly precede `[` without forming an index expression.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// Narrowing targets for the lossy-cast half of `counter-arith`.
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Timing-rule allowlist: modules whose whole purpose is wall-clock telemetry.
+fn timing_allowlisted(path: &str) -> bool {
+    path.ends_with("serve/latency.rs")
+}
+
+/// Does the `counter-arith` rule apply to this file? The accumulator surface:
+/// the metrics modules, the session stats fold, and the serving front-end
+/// (the `serve/` module directory — `walkindex/serve.rs` is walk math, not
+/// counter accumulation, and stays under the general library rules only).
+pub fn is_accumulator_file(path: &str) -> bool {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    file == "metrics.rs" || file == "session.rs" || path.contains("/serve/")
+}
+
+/// Analyzes one file. `path` must be workspace-relative with forward slashes.
+pub fn analyze_file(path: &str, scope: Scope, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let mut report = FileReport::default();
+
+    for bad in &lexed.bad_allows {
+        report.findings.push(Finding {
+            rule: "allow-syntax",
+            path: path.to_string(),
+            line: bad.line,
+            col: 1,
+            message: bad.problem.clone(),
+        });
+    }
+    for allow in &lexed.allows {
+        if !known_rule(&allow.rule) {
+            report.findings.push(Finding {
+                rule: "allow-syntax",
+                path: path.to_string(),
+                line: allow.line,
+                col: 1,
+                message: format!("lint:allow names unknown rule `{}`", allow.rule),
+            });
+        }
+    }
+
+    if scope.library() {
+        hash_container(path, &lexed, &mut report);
+        if !timing_allowlisted(path) {
+            timing(path, &lexed, &mut report);
+        }
+        panic_freedom(path, &lexed, &mut report);
+        indexing(path, &lexed, &mut report);
+    }
+    if scope.library() && is_accumulator_file(path) {
+        counter_arith(path, &lexed, &mut report);
+    }
+    if scope.ctor_rule() {
+        collect_non_exhaustive(path, &lexed, &mut report);
+    }
+    collect_ctor_evidence(&lexed, &mut report);
+
+    // Apply lint:allow suppression (except to allow-syntax itself).
+    report.findings.retain(|f| {
+        f.rule == "allow-syntax"
+            || !lexed.allows.iter().any(|a| {
+                a.rule == f.rule && (a.file_level || a.line == f.line || a.line + 1 == f.line)
+            })
+    });
+    report
+}
+
+/// Crate-level join for `non-exhaustive-ctor`: every declared type must appear
+/// in some file's constructor evidence.
+pub fn finish_ctor_rule(decls: &[TypeDecl], evidence: &[String]) -> Vec<Finding> {
+    decls
+        .iter()
+        .filter(|d| !d.allowed && !evidence.iter().any(|e| e == &d.name))
+        .map(|d| Finding {
+            rule: "non-exhaustive-ctor",
+            path: d.path.clone(),
+            line: d.line,
+            col: 1,
+            message: format!(
+                "#[non_exhaustive] pub type `{}` has no public constructor helper \
+                 (pub fn returning Self, or a Default/From/FromStr impl)",
+                d.name
+            ),
+        })
+        .collect()
+}
+
+fn live(lexed: &LexOutput) -> impl Iterator<Item = (usize, &Token)> {
+    lexed
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !lexed.in_test.get(*i).copied().unwrap_or(false))
+}
+
+fn finding(report: &mut FileReport, rule: &'static str, path: &str, tok: &Token, message: String) {
+    report.findings.push(Finding {
+        rule,
+        path: path.to_string(),
+        line: tok.span.line,
+        col: tok.span.col,
+        message,
+    });
+}
+
+fn hash_container(path: &str, lexed: &LexOutput, report: &mut FileReport) {
+    for (_, tok) in live(lexed) {
+        if tok.kind == TokenKind::Ident
+            && matches!(
+                tok.text.as_str(),
+                "HashMap" | "HashSet" | "DefaultHasher" | "RandomState"
+            )
+        {
+            finding(
+                report,
+                "hash-container",
+                path,
+                tok,
+                format!(
+                    "`{}` has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                     or a sorted vec",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn timing(path: &str, lexed: &LexOutput, report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for (i, tok) in live(lexed) {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let follows = |a: usize, text: &str| toks.get(i + a).is_some_and(|t| t.text == text);
+        let hit = match tok.text.as_str() {
+            "Instant" => follows(1, "::") && follows(2, "now"),
+            "SystemTime" => true,
+            "thread" => follows(1, "::") && follows(2, "current"),
+            _ => false,
+        };
+        if hit {
+            finding(
+                report,
+                "timing",
+                path,
+                tok,
+                format!(
+                    "`{}` reads the wall clock / thread identity outside an allowlisted \
+                     timing module; results must not depend on it",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn panic_freedom(path: &str, lexed: &LexOutput, report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for (i, tok) in live(lexed) {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |text: &str| toks.get(i + 1).is_some_and(|t| t.text == text);
+        let prev_is_dot = i > 0 && toks[i - 1].text == ".";
+        let hit = match tok.text.as_str() {
+            "unwrap" | "expect" => prev_is_dot && next_is("("),
+            "panic" | "unreachable" | "todo" | "unimplemented" => next_is("!"),
+            _ => false,
+        };
+        if hit {
+            finding(
+                report,
+                "panic",
+                path,
+                tok,
+                format!(
+                    "`{}` can panic in library code; return a typed Error or document \
+                     the invariant with lint:allow(panic, reason)",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+fn indexing(path: &str, lexed: &LexOutput, report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for (i, tok) in live(lexed) {
+        if tok.text != "[" || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let index_expr = match prev.kind {
+            TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+            TokenKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        };
+        if index_expr {
+            finding(
+                report,
+                "indexing",
+                path,
+                tok,
+                "indexing can panic on out-of-bounds; use .get()/iterators or document \
+                 the bounds invariant with lint:allow(indexing, reason)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn counter_arith(path: &str, lexed: &LexOutput, report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for (i, tok) in live(lexed) {
+        if tok.text == "+=" || tok.text == "*=" {
+            if let Some(field) = lhs_field(toks, i) {
+                // Float telemetry (everything `*seconds*` here) cannot wrap.
+                if field.contains("seconds") || field.contains("factor") {
+                    continue;
+                }
+            }
+            finding(
+                report,
+                "counter-arith",
+                path,
+                tok,
+                format!(
+                    "bare `{}` on a stat counter can overflow; use saturating_add/\
+                     saturating_mul (PR 7 saturation contract)",
+                    tok.text
+                ),
+            );
+        } else if tok.kind == TokenKind::Ident
+            && tok.text == "as"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| NARROW_CASTS.contains(&t.text.as_str()))
+        {
+            let target = &toks[i + 1].text;
+            finding(
+                report,
+                "counter-arith",
+                path,
+                tok,
+                format!(
+                    "narrowing `as {target}` cast in an accumulator file silently \
+                     truncates counters; use try_from or widen the target"
+                ),
+            );
+        }
+    }
+}
+
+/// Walks back from an `op=` token to the field identifier being assigned,
+/// skipping one trailing `[...]` index group (`buckets[i] += 1`).
+fn lhs_field(toks: &[Token], op: usize) -> Option<String> {
+    let mut i = op.checked_sub(1)?;
+    if toks[i].text == "]" {
+        let mut depth = 1usize;
+        while depth > 0 {
+            i = i.checked_sub(1)?;
+            match toks[i].text.as_str() {
+                "]" => depth += 1,
+                "[" => depth -= 1,
+                _ => {}
+            }
+        }
+        i = i.checked_sub(1)?;
+    }
+    (toks[i].kind == TokenKind::Ident).then(|| toks[i].text.clone())
+}
+
+fn collect_non_exhaustive(path: &str, lexed: &LexOutput, report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for (i, tok) in live(lexed) {
+        if tok.text != "non_exhaustive" {
+            continue;
+        }
+        // Walk forward past the closing `]` and any further attributes to the
+        // item header; require `pub struct X` / `pub enum X`.
+        let mut j = i + 1;
+        while j < toks.len() && toks[j].text != "]" {
+            j += 1;
+        }
+        j += 1;
+        // Skip stacked attributes (`#[derive(..)]` etc).
+        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        if toks.get(j).is_none_or(|t| t.text != "pub") {
+            continue;
+        }
+        let mut k = j + 1;
+        while k < toks.len() && !matches!(toks[k].text.as_str(), "struct" | "enum") {
+            // Past visibility modifiers like `pub(crate)` (which we already
+            // treat as non-pub for rule purposes) — bail on anything else.
+            if !matches!(toks[k].text.as_str(), "(" | ")" | "crate" | "super" | "in") {
+                break;
+            }
+            k += 1;
+        }
+        if !toks
+            .get(k)
+            .is_some_and(|t| matches!(t.text.as_str(), "struct" | "enum"))
+        {
+            continue;
+        }
+        let Some(name_tok) = toks.get(k + 1) else {
+            continue;
+        };
+        let allowed = lexed.allows.iter().any(|a| {
+            a.rule == "non-exhaustive-ctor"
+                && (a.file_level || a.line == tok.span.line || a.line + 1 == tok.span.line)
+        });
+        report.non_exhaustive.push(TypeDecl {
+            name: name_tok.text.clone(),
+            path: path.to_string(),
+            line: tok.span.line,
+            allowed,
+        });
+    }
+}
+
+/// Records, for every `impl` block, whether it provides constructor evidence:
+/// an inherent `pub fn` returning `Self`/the type, or a `Default`/`From`/
+/// `FromStr` trait impl.
+fn collect_ctor_evidence(lexed: &LexOutput, report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.text != "impl" || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip `impl<...>` generics (the lexer may fuse `>>`).
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "<<" => depth += 2,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+        // Header: everything up to `{` / `where`; split on a depth-0 `for`.
+        let mut header: Vec<&Token> = Vec::new();
+        let mut for_at: Option<usize> = None;
+        let mut depth = 0i32;
+        let mut body_open = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => {
+                    body_open = Some(j);
+                    break;
+                }
+                "where" if depth == 0 => break,
+                ";" if depth == 0 => break,
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "for" if depth == 0 => for_at = Some(header.len()),
+                _ => {}
+            }
+            header.push(&toks[j]);
+            j += 1;
+        }
+        let (trait_part, type_part) = match for_at {
+            Some(pos) => (&header[..pos], &header[pos + 1..]),
+            None => (&header[..0], &header[..]),
+        };
+        let Some(type_name) = last_depth0_ident(type_part) else {
+            continue;
+        };
+        if for_at.is_some() {
+            if let Some(trait_name) = last_depth0_ident(trait_part) {
+                if matches!(trait_name.as_str(), "Default" | "From" | "FromStr") {
+                    report.ctor_evidence.push(type_name);
+                }
+            }
+            continue;
+        }
+        // Inherent impl: scan the body for `pub fn .. -> ..Self/Type..`.
+        let Some(open) = body_open else { continue };
+        let close = matching_brace(toks, open);
+        if inherent_ctor_in_body(toks, open + 1, close, &type_name) {
+            report.ctor_evidence.push(type_name);
+        }
+    }
+}
+
+/// The last identifier at angle-depth 0 — the final path segment of a type or
+/// trait expression, generics stripped.
+fn last_depth0_ident(part: &[&Token]) -> Option<String> {
+    let mut depth = 0i32;
+    let mut name = None;
+    for t in part {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "<<" => depth += 2,
+            ">>" => depth -= 2,
+            _ => {
+                if depth == 0 && t.kind == TokenKind::Ident {
+                    name = Some(t.text.clone());
+                }
+            }
+        }
+    }
+    name
+}
+
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+fn inherent_ctor_in_body(toks: &[Token], start: usize, end: usize, type_name: &str) -> bool {
+    let mut i = start;
+    while i < end {
+        if toks[i].text != "pub" {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` and friends are not public API.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            i += 1;
+            continue;
+        }
+        while j < end
+            && matches!(
+                toks[j].text.as_str(),
+                "const" | "async" | "unsafe" | "extern"
+            )
+        {
+            j += 1;
+        }
+        if toks.get(j).is_none_or(|t| t.text != "fn") {
+            i += 1;
+            continue;
+        }
+        // Return type: tokens between `->` and the body `{` (or `;`/`where`).
+        let mut k = j;
+        let mut arrow = None;
+        let mut depth = 0i32;
+        while k < end {
+            match toks[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "->" if depth == 0 => arrow = Some(k),
+                "{" | ";" if depth == 0 => break,
+                "where" if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(a) = arrow {
+            let returns = &toks[a + 1..k];
+            if returns
+                .iter()
+                .any(|t| t.text == "Self" || t.text == type_name)
+            {
+                return true;
+            }
+        }
+        i = k.max(i + 1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, scope: Scope, src: &str) -> Vec<Finding> {
+        analyze_file(path, scope, src).findings
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn hash_container_flags_maps_and_hashers() {
+        let src = "use std::collections::{HashMap, HashSet};\n\
+                   use std::hash::RandomState;\nfn f() { let h = DefaultHasher::new(); }";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        let hashes: Vec<_> = f.iter().filter(|x| x.rule == "hash-container").collect();
+        assert_eq!(hashes.len(), 4);
+        assert_eq!(hashes[0].line, 1);
+    }
+
+    #[test]
+    fn hash_container_ignores_btree_and_test_mods() {
+        let src = "use std::collections::BTreeMap;\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashMap; }";
+        let f = findings("crates/graph/src/x.rs", Scope::Graph, src);
+        assert!(!rules_of(&f).contains(&"hash-container"), "{f:?}");
+    }
+
+    #[test]
+    fn timing_flags_clock_reads_but_not_type_positions() {
+        let src = "fn f(started: Instant) { let t = Instant::now(); \
+                   let s = SystemTime::now(); let id = std::thread::current().id(); }";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        let timing: Vec<_> = f.iter().filter(|x| x.rule == "timing").collect();
+        assert_eq!(timing.len(), 3, "{timing:?}");
+    }
+
+    #[test]
+    fn timing_allowlists_latency_module_and_tools() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(findings("crates/core/src/serve/latency.rs", Scope::Core, src).is_empty());
+        assert!(findings("crates/cli/src/main.rs", Scope::Tool, src).is_empty());
+        assert!(findings("crates/bench/src/lib.rs", Scope::Tool, src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_flags_methods_and_macros() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); unreachable!(); \
+                   todo!(); unimplemented!(); }";
+        let f = findings("crates/engine/src/x.rs", Scope::Engine, src);
+        assert_eq!(f.iter().filter(|x| x.rule == "panic").count(), 6);
+    }
+
+    #[test]
+    fn panic_rule_skips_lookalikes() {
+        // unwrap_or* are total; `should_panic` is an ident of its own; a path
+        // mention of the panic module is not an invocation.
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); x.unwrap_or_default(); \
+                   std::panic::catch_unwind(|| 2); }";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        assert!(!rules_of(&f).contains(&"panic"), "{f:?}");
+    }
+
+    #[test]
+    fn indexing_flags_expressions_not_types_or_macros() {
+        let src = "fn f(a: [u8; 4], v: &[u64]) -> Vec<u8> { let x = v[0]; let y = g()[1]; \
+                   let z = m[0][1]; let w = vec![1, 2]; let s = &v[1..]; a.to_vec() }";
+        let f = findings("crates/graph/src/x.rs", Scope::Graph, src);
+        // v[0], g()[1], m[0], [1] after m[0], v[1..] — five index expressions.
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "indexing").count(),
+            5,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn indexing_skips_patterns_and_attributes() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(x: &[u8]) { if let [a, b] = x { } }";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        assert!(!rules_of(&f).contains(&"indexing"), "{f:?}");
+    }
+
+    #[test]
+    fn counter_arith_flags_bare_add_but_not_float_seconds() {
+        let src = "fn f(s: &mut Stats) { s.served += 1; s.busy_seconds += 0.5; \
+                   s.buckets[i] += 1; s.total = s.total.saturating_add(2); }";
+        let f = findings("crates/core/src/session.rs", Scope::Core, src);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "counter-arith").count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn counter_arith_only_applies_to_accumulator_files() {
+        let src = "fn f(x: &mut u64) { *x += 1; }";
+        let f = findings("crates/core/src/topk.rs", Scope::Core, src);
+        assert!(!rules_of(&f).contains(&"counter-arith"), "{f:?}");
+        // walkindex/serve.rs is walk math, not the serve/ accumulator module.
+        let f = findings("crates/core/src/walkindex/serve.rs", Scope::Core, src);
+        assert!(!rules_of(&f).contains(&"counter-arith"), "{f:?}");
+        let f = findings("crates/core/src/serve/pool.rs", Scope::Core, src);
+        assert!(rules_of(&f).contains(&"counter-arith"), "{f:?}");
+    }
+
+    #[test]
+    fn counter_arith_flags_narrowing_casts() {
+        let src = "fn f(n: u64) -> u32 { n as u32 }\nfn g(n: u64) -> f64 { n as f64 }";
+        let f = findings("crates/engine/src/metrics.rs", Scope::Engine, src);
+        let casts: Vec<_> = f.iter().filter(|x| x.rule == "counter-arith").collect();
+        assert_eq!(casts.len(), 1, "{casts:?}");
+        assert!(casts[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn ctor_rule_passes_with_pub_fn_returning_self() {
+        let src = "#[non_exhaustive]\npub struct Q { pub k: usize }\n\
+                   impl Q { pub fn top_k(k: usize) -> Self { Q { k } } }";
+        let r = analyze_file("crates/core/src/x.rs", Scope::Core, src);
+        let f = finish_ctor_rule(&r.non_exhaustive, &r.ctor_evidence);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ctor_rule_accepts_default_and_from_impls() {
+        let src = "#[non_exhaustive]\n#[derive(Debug)]\npub enum E { A }\n\
+                   impl Default for E { fn default() -> Self { E::A } }";
+        let r = analyze_file("crates/core/src/x.rs", Scope::Core, src);
+        let f = finish_ctor_rule(&r.non_exhaustive, &r.ctor_evidence);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ctor_rule_flags_missing_constructor() {
+        let src = "#[non_exhaustive]\npub struct R { pub v: u64 }\n\
+                   impl R { pub fn value(&self) -> u64 { self.v } }";
+        let r = analyze_file("crates/core/src/x.rs", Scope::Core, src);
+        let f = finish_ctor_rule(&r.non_exhaustive, &r.ctor_evidence);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "non-exhaustive-ctor");
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("`R`"));
+    }
+
+    #[test]
+    fn ctor_rule_ignores_pub_crate_fn_and_getters() {
+        let src = "#[non_exhaustive]\npub struct R;\n\
+                   impl R { pub(crate) fn new() -> Self { R } }";
+        let r = analyze_file("crates/core/src/x.rs", Scope::Core, src);
+        let f = finish_ctor_rule(&r.non_exhaustive, &r.ctor_evidence);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn ctor_evidence_joins_across_files() {
+        let decl = analyze_file(
+            "crates/core/src/a.rs",
+            Scope::Core,
+            "#[non_exhaustive]\npub struct T;",
+        );
+        let ctor = analyze_file(
+            "crates/core/src/b.rs",
+            Scope::Core,
+            "impl T { pub fn new() -> T { T } }",
+        );
+        let f = finish_ctor_rule(&decl.non_exhaustive, &ctor.ctor_evidence);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_same_line_and_previous_line_suppress() {
+        let src = "fn f() {\n\
+                   x.unwrap(); // lint:allow(panic, poisoning implies a prior panic)\n\
+                   // lint:allow(panic, checked two lines up)\n\
+                   y.unwrap();\n\
+                   z.unwrap();\n}";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        let panics: Vec<_> = f.iter().filter(|x| x.rule == "panic").collect();
+        assert_eq!(panics.len(), 1, "{panics:?}");
+        assert_eq!(panics[0].line, 5);
+    }
+
+    #[test]
+    fn file_level_allow_suppresses_everywhere() {
+        let src = "// lint:allow-file(indexing, arena offsets are construction-checked)\n\
+                   fn f(v: &[u8]) -> u8 { v[0] }";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        assert!(!rules_of(&f).contains(&"indexing"), "{f:?}");
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src = "// lint:allow(indexing, wrong rule)\nx.unwrap();";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        assert!(rules_of(&f).contains(&"panic"));
+    }
+
+    #[test]
+    fn malformed_and_unknown_allows_are_reported() {
+        let src = "// lint:allow(panic)\n// lint:allow(not-a-rule, reason text)\n";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "allow-syntax").count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn scope_classification() {
+        assert_eq!(Scope::classify("crates/core/src/topk.rs"), Scope::Core);
+        assert_eq!(
+            Scope::classify("crates/engine/src/engine.rs"),
+            Scope::Engine
+        );
+        assert_eq!(Scope::classify("crates/graph/src/csr.rs"), Scope::Graph);
+        assert_eq!(Scope::classify("crates/cli/src/main.rs"), Scope::Tool);
+        assert_eq!(Scope::classify("crates/lint/src/rules.rs"), Scope::Tool);
+        assert_eq!(Scope::classify("src/lib.rs"), Scope::Tool);
+        assert_eq!(Scope::classify("scratch/evil.rs"), Scope::Unknown);
+    }
+}

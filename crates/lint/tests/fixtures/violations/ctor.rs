@@ -1,0 +1,6 @@
+// Fixture: API-hygiene violation — a #[non_exhaustive] pub type with no public
+// constructor helper anywhere in its group.
+#[non_exhaustive]
+pub struct Widget {
+    pub id: u32,
+}

@@ -1,0 +1,272 @@
+//! Fixture-tree integration tests: the exact findings (rule, line, column) the
+//! pass produces over `tests/fixtures/`, allow handling, baseline round-trips,
+//! and the `frogwild-lint` binary's exit-code contract.
+
+use frogwild_lint::{parse_baseline, render_baseline, run_on_sources, Config};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Loads every fixture file keyed by its path relative to the manifest dir
+/// (`tests/fixtures/...`), matching what the binary reports with
+/// `--root <manifest dir>`. The prefix keeps the paths out of `crates/`, which
+/// classifies them under the strictest (library) rule scope.
+fn fixture_sources() -> Vec<(String, String)> {
+    let root = fixture_dir();
+    let mut files = Vec::new();
+    collect(&root, &mut files);
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let rel = format!(
+                "tests/fixtures/{}",
+                p.strip_prefix(&root).unwrap().to_string_lossy()
+            );
+            (rel, std::fs::read_to_string(&p).unwrap())
+        })
+        .collect()
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn fixture_tree_produces_exactly_the_expected_findings() {
+    let report = run_on_sources(&fixture_sources(), &Config::default());
+    let got: Vec<(&str, &str, u32, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line, f.col))
+        .collect();
+    let expected = [
+        ("allow-syntax", "tests/fixtures/allowed.rs", 9, 1),
+        ("panic", "tests/fixtures/allowed.rs", 9, 7),
+        (
+            "non-exhaustive-ctor",
+            "tests/fixtures/violations/ctor.rs",
+            3,
+            1,
+        ),
+        (
+            "hash-container",
+            "tests/fixtures/violations/determinism.rs",
+            2,
+            23,
+        ),
+        (
+            "hash-container",
+            "tests/fixtures/violations/determinism.rs",
+            4,
+            19,
+        ),
+        ("timing", "tests/fixtures/violations/determinism.rs", 6, 16),
+        (
+            "counter-arith",
+            "tests/fixtures/violations/metrics.rs",
+            9,
+            24,
+        ),
+        (
+            "counter-arith",
+            "tests/fixtures/violations/metrics.rs",
+            10,
+            24,
+        ),
+        ("panic", "tests/fixtures/violations/panics.rs", 3, 25),
+        ("indexing", "tests/fixtures/violations/panics.rs", 4, 15),
+        ("panic", "tests/fixtures/violations/panics.rs", 6, 9),
+    ];
+    assert_eq!(got, expected, "full findings: {:#?}", report.findings);
+}
+
+#[test]
+fn clean_fixture_has_no_findings_even_under_the_strictest_scope() {
+    let sources: Vec<_> = fixture_sources()
+        .into_iter()
+        .filter(|(p, _)| p.ends_with("clean.rs"))
+        .collect();
+    assert_eq!(sources.len(), 1);
+    let report = run_on_sources(&sources, &Config::default());
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn well_formed_allow_suppresses_and_reasonless_allow_does_not() {
+    let sources: Vec<_> = fixture_sources()
+        .into_iter()
+        .filter(|(p, _)| p.ends_with("allowed.rs"))
+        .collect();
+    let report = run_on_sources(&sources, &Config::default());
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    // The reasoned allow on `g` suppressed its unwrap; `h` keeps both the
+    // malformed-allow finding and the unsuppressed panic finding.
+    assert_eq!(rules, ["allow-syntax", "panic"]);
+    assert!(report.findings.iter().all(|f| f.line == 9));
+}
+
+#[test]
+fn baseline_round_trips_over_the_fixture_tree() {
+    let sources = fixture_sources();
+    let first = run_on_sources(&sources, &Config::default());
+    assert!(!first.findings.is_empty());
+    let baseline = parse_baseline(&render_baseline(&first.findings)).expect("parses");
+    let second = run_on_sources(
+        &sources,
+        &Config {
+            baseline,
+            ..Config::default()
+        },
+    );
+    assert!(second.findings.is_empty(), "{:?}", second.findings);
+}
+
+// ---- binary-level tests -----------------------------------------------------
+
+fn lint_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_frogwild-lint"));
+    // Root at the crate dir: fixture paths print relative to it and the default
+    // baseline path (<root>/crates/lint/baseline.lint) does not exist, so these
+    // runs never read the real workspace baseline.
+    cmd.arg("--root").arg(env!("CARGO_MANIFEST_DIR"));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+#[test]
+fn deny_all_fails_on_each_seeded_violation_class_and_passes_on_clean() {
+    for file in [
+        "violations/determinism.rs",
+        "violations/panics.rs",
+        "violations/metrics.rs",
+        "violations/ctor.rs",
+    ] {
+        let out = lint_cmd()
+            .arg("--deny-all")
+            .arg(fixture_dir().join(file))
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{file} should fail --deny-all");
+    }
+    let out = lint_cmd()
+        .arg("--deny-all")
+        .arg(fixture_dir().join("clean.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "clean.rs should pass");
+}
+
+#[test]
+fn per_rule_allows_turn_a_failing_run_green() {
+    let out = lint_cmd()
+        .arg("--deny-all")
+        .args(["--allow", "hash-container", "--allow", "timing"])
+        .arg(fixture_dir().join("violations/determinism.rs"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn unknown_rule_and_unknown_option_are_usage_errors() {
+    let out = lint_cmd()
+        .args(["--allow", "no-such-rule"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = lint_cmd().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn write_baseline_then_deny_all_round_trips_through_the_binary() {
+    let baseline = std::env::temp_dir().join(format!(
+        "frogwild-lint-baseline-{}.lint",
+        std::process::id()
+    ));
+    let out = lint_cmd()
+        .args(["--write-baseline", "--baseline"])
+        .arg(&baseline)
+        .arg(fixture_dir())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let out = lint_cmd()
+        .args(["--deny-all", "--baseline"])
+        .arg(&baseline)
+        .arg(fixture_dir())
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&baseline);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn csv_format_emits_header_and_quoted_messages() {
+    let out = lint_cmd()
+        .args(["--format", "csv"])
+        .arg(fixture_dir().join("violations/panics.rs"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.starts_with("rule,path,line,col,message\n"),
+        "{stdout}"
+    );
+    assert_eq!(stdout.lines().count(), 4, "{stdout}");
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = lint_cmd().arg("--list-rules").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for rule in [
+        "hash-container",
+        "timing",
+        "panic",
+        "indexing",
+        "counter-arith",
+        "non-exhaustive-ctor",
+        "allow-syntax",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn the_workspace_itself_is_clean_under_deny_all() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_frogwild-lint"))
+        .arg("--root")
+        .arg(root)
+        .arg("--deny-all")
+        .current_dir(root)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint regressed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
