@@ -16,6 +16,7 @@ pub mod qps;
 pub mod staleness;
 pub mod stragglers;
 pub mod theory_check;
+pub mod trace;
 pub mod walkindex;
 
 use frogwild::driver::RunReport;

@@ -7,12 +7,19 @@
 //! under a deterministic delivery schedule — which overlaps fast machines' compute
 //! with slow machines' stragglers and converts barrier wait into forward progress.
 //!
-//! The table sweeps the staleness window on the Twitter-shaped workload and reports,
-//! per `s`: top-20 mass captured (accuracy), total simulated wall-clock time, the
-//! simulated barrier wait the overlap avoided, and the executor's staleness
-//! telemetry (summed delivery lag, deepest staging inbox). `s = 0` is the exact
-//! synchronous baseline; rows below it show how much wall-time the relaxation buys
-//! and what it costs in accuracy (walkers absorbing against slightly stale counts).
+//! The first table sweeps the staleness window on the Twitter-shaped workload and
+//! reports, per `s`: top-20 mass captured (accuracy), total simulated wall-clock
+//! time, the simulated barrier wait the overlap avoided, and the executor's
+//! staleness telemetry (summed delivery lag, deepest staging inbox). `s = 0` is the
+//! exact synchronous baseline; rows below it show how much wall-time the relaxation
+//! buys and what it costs in accuracy (walkers absorbing against slightly stale
+//! counts).
+//!
+//! The second table is the straggler profile behind those numbers: each machine's
+//! finish time on the pipelined watermark clock for the deepest window swept. The
+//! spread between the fastest and slowest machine is exactly the barrier wait a
+//! synchronous run would pay per superstep — the wait the first table reports as
+//! avoided.
 
 use crate::figures::accuracy;
 use crate::workloads::{twitter_workload, Scale};
@@ -51,6 +58,8 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             "max_inbox_depth",
         ],
     );
+    let deepest = *STALENESS_SWEEP.last().unwrap_or(&0);
+    let mut straggler_profile: Vec<f64> = Vec::new();
     for s in STALENESS_SWEEP {
         let report = run_frogwild_with(&pg, &config, &ExecutionConfig::new().staleness(s))
             .expect("valid figure configuration");
@@ -63,8 +72,30 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             report.cost.staleness_lag.to_string(),
             report.cost.max_inbox_depth.to_string(),
         ]);
+        if s == deepest {
+            straggler_profile = report.metrics.machine_finish_seconds.clone();
+        }
     }
-    vec![table]
+
+    let mut watermark = Table::new(
+        format!(
+            "Ablation G2: per-machine watermark finish times ({}, staleness = {deepest})",
+            workload.name
+        ),
+        &["machine", "finish_s", "behind_fastest_s"],
+    );
+    let fastest = straggler_profile
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    for (machine, &finish) in straggler_profile.iter().enumerate() {
+        watermark.push_row(vec![
+            machine.to_string(),
+            fmt_f64(finish),
+            fmt_f64(finish - fastest),
+        ]);
+    }
+    vec![table, watermark]
 }
 
 #[cfg(test)]
@@ -74,7 +105,7 @@ mod tests {
     #[test]
     fn staleness_sweep_trades_barrier_wait_without_collapsing_accuracy() {
         let tables = run(&Scale::tiny());
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         let table = &tables[0];
         assert_eq!(table.len(), STALENESS_SWEEP.len());
         let time = |row: &[String]| row[2].parse::<f64>().unwrap();
@@ -93,6 +124,26 @@ mod tests {
             let mass: f64 = row[1].parse().unwrap();
             let sync_mass: f64 = sync_row[1].parse().unwrap();
             assert!(mass >= sync_mass - 0.2, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn watermark_table_profiles_every_machine() {
+        let tables = run(&Scale::tiny());
+        let watermark = &tables[1];
+        assert!(watermark.title.contains("watermark"));
+        // One row per machine; at least one machine is the fastest (lag 0) and the
+        // finish times are positive on the pipelined clock.
+        assert!(!watermark.rows.is_empty());
+        let lags: Vec<f64> = watermark
+            .rows
+            .iter()
+            .map(|row| row[2].parse::<f64>().unwrap())
+            .collect();
+        assert!(lags.contains(&0.0), "{lags:?}");
+        assert!(lags.iter().all(|&lag| lag >= 0.0), "{lags:?}");
+        for row in &watermark.rows {
+            assert!(row[1].parse::<f64>().unwrap() > 0.0, "{row:?}");
         }
     }
 }

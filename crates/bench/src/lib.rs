@@ -72,6 +72,9 @@ pub fn run_figures(names: &[String], scale: &Scale) -> Vec<frogwild::report::Tab
     if wants("qps") {
         tables.extend(figures::qps::run(scale));
     }
+    if wants("trace") {
+        tables.extend(figures::trace::run(scale));
+    }
     tables
 }
 

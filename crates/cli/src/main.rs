@@ -55,6 +55,17 @@
 //!     --queries <n>         queries in the generated mixed stream (serve) [default: 100]
 //!     --serial              serve on the calling thread (reference path)
 //!
+//! TRACING OPTIONS (topk, pagerank, autotune, ppr, serve, index):
+//!     --trace <path>        export the run's structured trace to <path>
+//!     --trace-format <f>    chrome | csv                             [default: chrome]
+//!     --trace-logical       logical clock: byte-stable traces, diffable across runs
+//!                           (ordinal timestamps instead of wall-clock durations)
+//!
+//!   Tracing observes, never steers: responses are bit-identical with tracing on or
+//!   off. The chrome format loads in `chrome://tracing` / `ui.perfetto.dev` and is
+//!   validated before the file is written; either format also prints the
+//!   phase-breakdown summary (`TraceReport`) to stderr.
+//!
 //! WALK-INDEX OPTIONS (enable with --walk-index on topk/ppr; implicit for index):
 //!     --walk-index                     precompute a walk index at session build
 //!     --walk-index-segments <n>       segments per vertex (R)        [default: 16]
@@ -106,6 +117,7 @@
 mod args;
 
 use args::Args;
+use frogwild::obs::{span_meta, SpanKey};
 use frogwild::prelude::*;
 use frogwild_graph::io::{read_edge_list_file, write_edge_list_file, EdgeListOptions};
 use frogwild_graph::stats::{degree_summary, in_degree_tail_exponent, Direction};
@@ -163,6 +175,7 @@ fn print_usage() {
          \u{20}          [--walk-index] [--walk-index-segments R] [--walk-index-length L]\n\
          \u{20}          [--walk-index-epsilon E] [--walk-index-walks N] [--walk-index-budget-mb M]\n\
          \u{20}          [--workers N] [--staleness S]  (engine execution; see --help)\n\
+         \u{20}          [--trace <path>] [--trace-format chrome|csv] [--trace-logical]\n\
          topk:     --k N --walkers N --iterations N --ps P [--repeat N] [--parallel]\n\
          \u{20}          [--tolerance T]\n\
          autotune: --k N --loss E --delta D --ps P [--pilot-walkers N]\n\
@@ -290,6 +303,82 @@ fn serve_config_from(args: &Args) -> Result<ServeConfig> {
     })
 }
 
+/// [`SpanKey::lane`] of CLI-level spans (the sessionless `ppr` command span and the
+/// `index` command's probe spans). Engine spans use lanes 0–6 and the serving stack
+/// lanes 8–10, so CLI spans never share a `(key)` with a library sink.
+const LANE_CLI: u16 = 11;
+
+/// How a `--trace` export is serialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFormat {
+    /// Chrome trace-event JSON — loads in `chrome://tracing` / `ui.perfetto.dev`.
+    Chrome,
+    /// Flat CSV, one row per timeline record.
+    Csv,
+}
+
+/// What `--trace <path>` asked for: where to write, in which format, on which clock.
+struct TraceRequest {
+    path: String,
+    format: TraceFormat,
+    config: TraceConfig,
+}
+
+/// The `--trace` / `--trace-format` / `--trace-logical` options, `Some` only when a
+/// trace was actually requested. Pure (no side effects), so both the session builder
+/// and the post-command exporter can call it.
+fn trace_request(args: &Args) -> Result<Option<TraceRequest>> {
+    let Some(path) = args.get("trace") else {
+        return Ok(None);
+    };
+    let format = match args.get("trace-format").unwrap_or("chrome") {
+        "chrome" => TraceFormat::Chrome,
+        "csv" => TraceFormat::Csv,
+        other => {
+            return Err(Error::config(
+                "command line",
+                format!("unknown trace format {other:?} (expected chrome or csv)"),
+            ))
+        }
+    };
+    let config = if args.has_flag("trace-logical") {
+        TraceConfig::logical()
+    } else {
+        TraceConfig::enabled()
+    };
+    Ok(Some(TraceRequest {
+        path: path.to_string(),
+        format,
+        config,
+    }))
+}
+
+/// Merges `tracer`'s records into the deterministic timeline, writes the requested
+/// export, and prints the phase-breakdown summary to stderr. Chrome output is run
+/// back through the in-repo validator *before* the file is written, so the
+/// `trace: wrote ...` confirmation line guarantees a loadable trace.
+fn write_trace(tracer: &Tracer, request: &TraceRequest) -> Result<()> {
+    let timeline = tracer.finish();
+    let (data, label, records) = match request.format {
+        TraceFormat::Chrome => {
+            let json = timeline.to_chrome_json();
+            let events = frogwild::obs::validate_chrome_json(&json).map_err(|e| {
+                Error::query(format!("emitted chrome trace failed validation: {e}"))
+            })?;
+            (json, "chrome, validated", events)
+        }
+        TraceFormat::Csv => (timeline.to_csv(), "csv", timeline.entries().len()),
+    };
+    std::fs::write(&request.path, &data)
+        .map_err(|e| Error::graph(format!("could not write {}: {e}", request.path)))?;
+    eprintln!("{}", timeline.report(5));
+    eprintln!(
+        "trace: wrote {records} records to {} ({label})",
+        request.path
+    );
+    Ok(())
+}
+
 /// Builds the session shared by all ranking subcommands. `allow_index` is set by the
 /// subcommands whose queries can actually be served from a walk index (topk, ppr);
 /// the engine-only subcommands skip the build and say so, instead of silently paying
@@ -310,6 +399,9 @@ fn session_over<'g>(args: &Args, graph: &'g DiGraph, allow_index: bool) -> Resul
         .seed(seed)
         .execution(ExecutionConfig::new().workers(workers).staleness(staleness))
         .serve_config(serve_config_from(args)?);
+    if let Some(request) = trace_request(args)? {
+        builder = builder.tracing(request.config);
+    }
     if let Some(config) = walk_index_config(args)? {
         if allow_index {
             builder = builder.walk_index(config);
@@ -416,6 +508,9 @@ fn cmd_topk(args: &Args) -> Result<()> {
     print_verbose_cost(args, &response);
     print_ranking(&response, "estimated_mass");
     print_session_stats(&session);
+    if let Some(request) = trace_request(args)? {
+        write_trace(session.tracer(), &request)?;
+    }
     Ok(())
 }
 
@@ -439,6 +534,9 @@ fn cmd_pagerank(args: &Args) -> Result<()> {
     print_verbose_cost(args, &response);
     print_ranking(&response, "score");
     print_session_stats(&session);
+    if let Some(request) = trace_request(args)? {
+        write_trace(session.tracer(), &request)?;
+    }
     Ok(())
 }
 
@@ -474,6 +572,9 @@ fn cmd_autotune(args: &Args) -> Result<()> {
     print_verbose_cost(args, &response);
     print_ranking(&response, "estimated_mass");
     print_session_stats(&session);
+    if let Some(request) = trace_request(args)? {
+        write_trace(session.tracer(), &request)?;
+    }
     Ok(())
 }
 
@@ -539,6 +640,7 @@ fn cmd_ppr(args: &Args) -> Result<()> {
     // which always bypasses the index and must not pay for building one.
     let wants_index =
         walk_index_config(args)?.is_some() && !matches!(method, PprMethod::PowerIteration { .. });
+    let trace = trace_request(args)?;
     let response = if wants_index {
         let mut session = session_over(args, &graph, true)?;
         let response = session.query(&Query::Ppr {
@@ -548,9 +650,32 @@ fn cmd_ppr(args: &Args) -> Result<()> {
             method,
         })?;
         print_session_stats(&session);
+        if let Some(request) = &trace {
+            write_trace(session.tracer(), request)?;
+        }
         response
     } else {
-        frogwild::session::serve_ppr(&graph, source as VertexId, k, 0.15, method)?
+        // The sessionless path has no library instrumentation to piggyback on, so the
+        // CLI wraps the whole serve in one span of its own; the tracer stays disabled
+        // (and the span free) unless --trace asked for it.
+        let tracer = Tracer::new(
+            trace
+                .as_ref()
+                .map_or_else(TraceConfig::disabled, |r| r.config),
+        );
+        let sink = tracer.sink();
+        let mut span = sink.span(span_meta!("serve_ppr"), SpanKey::new(0, 0, 0, LANE_CLI));
+        let response = frogwild::session::serve_ppr(&graph, source as VertexId, k, 0.15, method)?;
+        if let ResponseDetail::Ppr { pushes, .. } = &response.detail {
+            span.counter("pushes", *pushes as u64);
+        }
+        span.counter("walk_hops", response.cost.walk_hops);
+        drop(span);
+        drop(sink);
+        if let Some(request) = &trace {
+            write_trace(&tracer, request)?;
+        }
+        response
     };
     if let ResponseDetail::Ppr {
         pushes,
@@ -652,6 +777,19 @@ fn cmd_serve(args: &Args) -> Result<()> {
         println!("{label}_p95_ms,{:.3}", h.p95() * 1e3);
         println!("{label}_p99_ms,{:.3}", h.p99() * 1e3);
     }
+    // Queue wait (submission → start of execution) separated from the service time
+    // above: together they account for each served query's end-to-end latency.
+    for kind in frogwild::serve::QUERY_KINDS {
+        let h = report.queue_wait.histogram(kind);
+        if h.count() == 0 {
+            continue;
+        }
+        let label = kind.label();
+        println!("{label}_queue_wait_mean_ms,{:.3}", h.mean_seconds() * 1e3);
+        println!("{label}_queue_wait_p50_ms,{:.3}", h.p50() * 1e3);
+        println!("{label}_queue_wait_p95_ms,{:.3}", h.p95() * 1e3);
+        println!("{label}_queue_wait_p99_ms,{:.3}", h.p99() * 1e3);
+    }
     println!("worker,served,failed,batches,busy_seconds,queue_wait_seconds");
     for w in &report.workers {
         println!(
@@ -665,15 +803,39 @@ fn cmd_serve(args: &Args) -> Result<()> {
         }
     }
     print_session_stats(&session);
+    if let Some(request) = trace_request(args)? {
+        write_trace(session.tracer(), &request)?;
+    }
     Ok(())
 }
 
 fn cmd_index(args: &Args) -> Result<()> {
     let graph = load_graph(args)?;
     let machines: usize = args.get_parsed("machines", 16, "an integer")?;
+    if machines == 0 {
+        return Err(Error::config(
+            "command line",
+            "--machines must be at least 1",
+        ));
+    }
     let config = walk_index_values(args)?;
+    let trace = trace_request(args)?;
+    // Partition explicitly (the same default ingress `build_walk_index_standalone`
+    // uses) so the build can run under the CLI's tracer: each machine's segment
+    // generation then lands in the trace as a `walk_segments` span.
+    let tracer = Tracer::new(
+        trace
+            .as_ref()
+            .map_or_else(TraceConfig::disabled, |r| r.config),
+    );
+    let pg = frogwild_engine::PartitionedGraph::build(
+        &graph,
+        machines,
+        &frogwild_engine::ObliviousPartitioner,
+        config.seed,
+    );
     let (index, report) =
-        frogwild::walkindex::build_walk_index_standalone(&graph, machines, &config)?;
+        frogwild::walkindex::build_walk_index_traced(&graph, &pg, &config, &tracer)?;
     println!("quantity,value");
     println!("vertices,{}", index.num_vertices());
     println!("requested_segments,{}", report.requested_segments);
@@ -691,12 +853,25 @@ fn cmd_index(args: &Args) -> Result<()> {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x1DE7_0B5E);
         let started = std::time::Instant::now();
         let mut totals = frogwild::walkindex::IndexServeStats::default();
-        for _ in 0..probes {
+        let sink = tracer.sink();
+        for probe in 0..probes {
             let source = rng.gen_range(0..graph.num_vertices()) as VertexId;
+            let mut span = sink.span(
+                span_meta!("probe_ppr"),
+                SpanKey::new(probe as u64, 0, 0, LANE_CLI),
+            );
             let served = frogwild::walkindex::indexed_ppr(&graph, &index, &config, source, 0.15)?;
+            span.counter("pushes", served.stats.pushes as u64);
+            span.counter("frontier", served.stats.frontier_vertices);
+            span.counter("segment_hits", served.stats.segment_hits);
+            span.counter("segment_misses", served.stats.segment_misses);
+            // Every miss resamples exactly one fresh hop.
+            span.counter("resamples", served.stats.segment_misses);
+            drop(span);
             totals.segment_hits += served.stats.segment_hits;
             totals.segment_misses += served.stats.segment_misses;
         }
+        drop(sink);
         let serve_seconds = started.elapsed().as_secs_f64();
         println!("probe_queries,{probes}");
         println!("probe_seconds,{serve_seconds:.6}");
@@ -707,6 +882,9 @@ fn cmd_index(args: &Args) -> Result<()> {
             "amortized_build_seconds,{:.6}",
             report.build_seconds / probes as f64
         );
+    }
+    if let Some(request) = &trace {
+        write_trace(&tracer, request)?;
     }
     Ok(())
 }

@@ -21,6 +21,7 @@ use frogwild_engine::{
 };
 use frogwild_graph::sparsify::{uniform_sparsify, SparsifyMode};
 use frogwild_graph::{DiGraph, VertexId};
+use frogwild_obs::Tracer;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -167,6 +168,22 @@ pub fn run_frogwild_with(
     config: &FrogWildConfig,
     execution: &ExecutionConfig,
 ) -> Result<RunReport, Error> {
+    run_frogwild_traced(pg, config, execution, &Tracer::disabled())
+}
+
+/// [`run_frogwild_with`] plus a tracing handle: the engine records per-phase,
+/// per-batch spans into `tracer` (see [`crate::obs`]). Tracing only observes — the
+/// estimate and every counted cost are bit-identical to the untraced run.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when either configuration fails validation.
+pub fn run_frogwild_traced(
+    pg: &PartitionedGraph,
+    config: &FrogWildConfig,
+    execution: &ExecutionConfig,
+    tracer: &Tracer,
+) -> Result<RunReport, Error> {
     execution.validate()?;
     let program = FrogWildProgram::new(config)?;
     let engine_config = EngineConfig {
@@ -179,6 +196,7 @@ pub fn run_frogwild_with(
         workers: execution.workers,
         batch_size: execution.batch_size,
         staleness: execution.staleness,
+        tracer: tracer.clone(),
     };
     let cost_model = engine_config.cost_model;
     let engine = Engine::new(pg, program, engine_config)?;
@@ -266,6 +284,22 @@ pub fn run_graphlab_pr_with(
     config: &PageRankConfig,
     execution: &ExecutionConfig,
 ) -> Result<RunReport, Error> {
+    run_graphlab_pr_traced(pg, config, execution, &Tracer::disabled())
+}
+
+/// [`run_graphlab_pr_with`] plus a tracing handle: the engine records per-phase,
+/// per-batch spans into `tracer` (see [`crate::obs`]). Tracing only observes — it
+/// never changes the estimate or the counted costs.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when either configuration fails validation.
+pub fn run_graphlab_pr_traced(
+    pg: &PartitionedGraph,
+    config: &PageRankConfig,
+    execution: &ExecutionConfig,
+    tracer: &Tracer,
+) -> Result<RunReport, Error> {
     execution.validate()?;
     let program = PageRankProgram::new(config)?;
     let engine_config = EngineConfig {
@@ -278,6 +312,7 @@ pub fn run_graphlab_pr_with(
         workers: execution.workers,
         batch_size: execution.batch_size,
         staleness: execution.staleness,
+        tracer: tracer.clone(),
     };
     let cost_model = engine_config.cost_model;
     let engine = Engine::new(pg, program, engine_config)?;

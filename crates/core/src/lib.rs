@@ -93,6 +93,10 @@
 //! * [`driver`] — the low-level experiment drivers underneath the session; they return
 //!   a [`driver::RunReport`] with raw engine metrics for the benchmark harness.
 //! * [`report`] — tiny CSV/markdown writers for the figure harness.
+//! * [`obs`] — structured tracing (re-exported `frogwild_obs`): span guards with
+//!   static callsite metadata recorded into one deterministic timeline, exportable as
+//!   Chrome trace-event JSON or CSV. Wired through `SessionBuilder::tracing`; a
+//!   disabled tracer (the default) costs nothing.
 //!
 //! ## Migrating from the 0.1 free functions
 //!
@@ -138,18 +142,24 @@ pub mod theory;
 pub mod topk;
 pub mod walkindex;
 
+/// Structured tracing for every layer of the stack — the re-exported
+/// [`frogwild_obs`] crate. See [`session::SessionBuilder::tracing`] for the usual
+/// entry point and `frogwild_obs`'s crate docs for the span API.
+pub use frogwild_obs as obs;
+
 /// Convenient re-exports of the types most users need.
 pub mod prelude {
     pub use crate::autotune::{auto_topk_on, AutoTuneConfig, AutoTuneReport};
     pub use crate::confidence::{plan_walkers, wilson_interval, WalkerPlan};
     pub use crate::config::{ExecutionConfig, FrogWildConfig, PageRankConfig, Scheduling};
     pub use crate::driver::{
-        partition_graph, run_frogwild_on, run_frogwild_scheduled, run_frogwild_with,
-        run_graphlab_pr_on, run_graphlab_pr_scheduled, run_graphlab_pr_with, run_sparsified_pr,
-        RunReport,
+        partition_graph, run_frogwild_on, run_frogwild_scheduled, run_frogwild_traced,
+        run_frogwild_with, run_graphlab_pr_on, run_graphlab_pr_scheduled, run_graphlab_pr_traced,
+        run_graphlab_pr_with, run_sparsified_pr, RunReport,
     };
     pub use crate::error::{Error, Result};
     pub use crate::metrics::{exact_identification, mass_captured, MassCaptured};
+    pub use crate::obs::{TraceConfig, TraceReport, Tracer};
     pub use crate::ppr::{forward_push_ppr, personalized_pagerank, single_source_restart};
     pub use crate::rank_metrics::{kendall_tau_top_k, ndcg_at_k};
     pub use crate::reference::{exact_pagerank, serial_random_walk_pagerank, PageRankResult};

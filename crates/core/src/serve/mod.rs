@@ -203,8 +203,9 @@ pub struct WorkerStats {
     pub batches: u64,
     /// Seconds this worker spent executing queries.
     pub busy_seconds: f64,
-    /// Seconds the batches this worker pulled had waited in the queue (summed
-    /// submission-to-pop times).
+    /// Seconds the queries this worker executed had waited between submission and
+    /// the start of their execution (summed per query, so in-batch serialization
+    /// behind earlier queries counts as queue wait too).
     pub queue_wait_seconds: f64,
 }
 
@@ -230,6 +231,11 @@ pub struct ServeReport {
     pub query_seconds: f64,
     /// Latency histograms (service time) per query kind, with p50/p95/p99.
     pub latency: LatencyStats,
+    /// Queue-wait histograms per query kind: how long each served query sat
+    /// between submission and the start of its execution. Together with
+    /// [`latency`](ServeReport::latency) this splits end-to-end sojourn time into
+    /// its wait and service components; always zero on the serial path (no queue).
+    pub queue_wait: LatencyStats,
     /// Per-worker counters, one entry per pool worker.
     pub workers: Vec<WorkerStats>,
 }
@@ -251,22 +257,28 @@ impl ServeReport {
 }
 
 impl std::fmt::Display for ServeReport {
-    /// A compact serving summary: counts, throughput, and overall percentiles.
+    /// A compact serving summary: counts, throughput, and overall percentiles of
+    /// both components of sojourn time — queue wait and service.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let overall = self.latency.overall();
+        let service = self.latency.overall();
+        let wait = self.queue_wait.overall();
         write!(
             f,
             "served {} / rejected {} / failed {} in {:.3}s ({:.1} qps, {} workers); \
-             latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
+             service p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms; \
+             queue wait p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
             self.served,
             self.rejected,
             self.failed,
             self.wall_seconds,
             self.qps(),
             self.workers.len(),
-            overall.p50() * 1e3,
-            overall.p95() * 1e3,
-            overall.p99() * 1e3,
+            service.p50() * 1e3,
+            service.p95() * 1e3,
+            service.p99() * 1e3,
+            wait.p50() * 1e3,
+            wait.p95() * 1e3,
+            wait.p99() * 1e3,
         )
     }
 }

@@ -12,12 +12,37 @@
 use std::sync::mpsc;
 use std::time::Instant;
 
+use frogwild_obs::{span_meta, SpanKey, SpanMeta};
+
 use crate::error::Result;
 use crate::session::{Query, Response, Session};
 
-use super::latency::LatencyStats;
+use super::latency::{LatencyStats, QueryKind};
 use super::queue::{AdmitError, Bounded};
 use super::{reseeded, seed_for, Admission, QueryOutcome, ServeConfig, ServeReport, WorkerStats};
+
+/// [`SpanKey::lane`] of the admission thread's enqueue/reject events. Serve-layer
+/// keys are `(sequence id, 0, 0, lane)`; lanes 8+ are reserved for the serve layer
+/// (8 is the session's index-serving span).
+const LANE_ADMIT: u16 = 9;
+/// [`SpanKey::lane`] of a worker's dequeue event and execute span for one query.
+const LANE_EXECUTE: u16 = 10;
+
+/// The execute span's static metadata, one per [`QueryKind`] so the phase
+/// breakdown of a trace splits service time per kind.
+fn execute_meta(kind: QueryKind) -> &'static SpanMeta {
+    match kind {
+        QueryKind::TopK => span_meta!("execute_topk"),
+        QueryKind::Pagerank => span_meta!("execute_pagerank"),
+        QueryKind::Ppr => span_meta!("execute_ppr"),
+        QueryKind::AutotunedTopK => span_meta!("execute_autotuned"),
+    }
+}
+
+/// Seconds → whole microseconds, the unit trace counters carry.
+fn as_micros(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e6) as u64
+}
 
 /// One unit of queue traffic: a contiguous run of `(position, sequence id, query)`
 /// triples, stamped with its submission instant so queue wait is measurable.
@@ -43,10 +68,12 @@ pub(super) fn run_stream(
 ) -> ServeReport {
     let session_seed = session.cluster().seed;
     let workers = config.effective_workers();
+    let tracer = session.tracer();
     let queue: Bounded<Batch> = Bounded::new(config.queue_depth);
-    let (result_tx, result_rx) = mpsc::channel::<(usize, Result<Response>)>();
+    let (result_tx, result_rx) = mpsc::channel::<(usize, f64, Result<Response>)>();
     let mut outcomes: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
     outcomes.resize_with(queries.len(), || None);
+    let mut waits = vec![0.0f64; queries.len()];
 
     let started = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
     let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -60,13 +87,29 @@ pub(super) fn run_stream(
                         ..WorkerStats::default()
                     };
                     while let Some(batch) = queue.pop() {
-                        stats.queue_wait_seconds += batch.submitted.elapsed().as_secs_f64();
                         stats.batches = stats.batches.saturating_add(1);
                         for (position, seq, query) in batch.items {
                             let seeded = reseeded(&query, seed_for(session_seed, seq));
+                            // Queue wait runs from submission to the start of this
+                            // query's execution, so time spent behind earlier
+                            // queries of the same batch counts as waiting too.
+                            let wait = batch.submitted.elapsed().as_secs_f64(); // lint:allow(timing, queue-wait telemetry only)
+                            stats.queue_wait_seconds += wait;
+                            // One sink per query keeps record ordinals a function
+                            // of the query alone, not of worker scheduling.
+                            let sink = tracer.sink();
+                            let key = SpanKey::new(seq, 0, 0, LANE_EXECUTE);
+                            sink.event_with(
+                                span_meta!("dequeue"),
+                                key,
+                                &[("queue_wait_us", as_micros(wait))],
+                            );
+                            let mut exec_span = sink.span(execute_meta(seeded.kind()), key);
+                            exec_span.counter("queue_wait_us", as_micros(wait));
                             let busy = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
-                            let result = session.execute(&seeded);
+                            let result = session.execute_at(seq, &seeded);
                             stats.busy_seconds += busy.elapsed().as_secs_f64();
+                            drop(exec_span);
                             match &result {
                                 Ok(_) => stats.served = stats.served.saturating_add(1),
                                 Err(_) => stats.failed = stats.failed.saturating_add(1),
@@ -74,7 +117,7 @@ pub(super) fn run_stream(
                             // The receiver outlives every worker; a send can only
                             // fail if the collector already gave up, in which case
                             // dropping the result is the right thing.
-                            let _ = tx.send((position, result));
+                            let _ = tx.send((position, wait, result));
                         }
                     }
                     stats
@@ -82,6 +125,7 @@ pub(super) fn run_stream(
             })
             .collect();
         drop(result_tx);
+        let admit_sink = tracer.sink();
 
         // Admission control on the calling thread: batch, then submit under the
         // configured policy. `push` can only fail here via `Closed`, which cannot
@@ -96,6 +140,9 @@ pub(super) fn run_stream(
                     (position, start_seq + position as u64, query.clone())
                 })
                 .collect();
+            for &(_, seq, _) in &items {
+                admit_sink.event(span_meta!("enqueue"), SpanKey::new(seq, 0, 0, LANE_ADMIT));
+            }
             let batch = Batch {
                 submitted: Instant::now(), // lint:allow(timing, queue-wait telemetry only)
                 items,
@@ -106,7 +153,8 @@ pub(super) fn run_stream(
                 Admission::Timeout(limit) => queue.push_timeout(batch, limit),
             };
             if let Err(AdmitError::Full(batch) | AdmitError::Closed(batch)) = verdict {
-                for (position, _, _) in batch.items {
+                for (position, seq, _) in batch.items {
+                    admit_sink.event(span_meta!("rejected"), SpanKey::new(seq, 0, 0, LANE_ADMIT));
                     outcomes[position] = Some(QueryOutcome::Rejected); // lint:allow(indexing, position < queries.len() by construction)
                 }
             }
@@ -115,7 +163,9 @@ pub(super) fn run_stream(
 
         // Collect results while workers finish draining; the channel ends once the
         // last worker drops its sender.
-        for (position, result) in result_rx {
+        for (position, wait, result) in result_rx {
+            // lint:allow(indexing, position < queries.len() by construction)
+            waits[position] = wait;
             // lint:allow(indexing, position < queries.len() by construction)
             outcomes[position] = Some(match result {
                 Ok(response) => QueryOutcome::from(response),
@@ -134,7 +184,7 @@ pub(super) fn run_stream(
         .into_iter()
         .map(|slot| slot.expect("every submitted query has an outcome")) // lint:allow(panic, every position is filled by the collector or rejection path)
         .collect();
-    finish_report(outcomes, worker_stats, wall_seconds)
+    finish_report(outcomes, waits, worker_stats, wall_seconds)
 }
 
 /// Serves `queries` on the calling thread, in submission order, under the *same*
@@ -142,16 +192,24 @@ pub(super) fn run_stream(
 /// concurrent results are pinned against.
 pub(super) fn run_serial(session: &Session<'_>, start_seq: u64, queries: &[Query]) -> ServeReport {
     let session_seed = session.cluster().seed;
+    let tracer = session.tracer();
     let started = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
     let mut stats = WorkerStats::default();
     let outcomes: Vec<QueryOutcome> = queries
         .iter()
         .enumerate()
         .map(|(position, query)| {
-            let seeded = reseeded(query, seed_for(session_seed, start_seq + position as u64));
+            let seq = start_seq + position as u64;
+            let seeded = reseeded(query, seed_for(session_seed, seq));
+            let sink = tracer.sink();
+            let key = SpanKey::new(seq, 0, 0, LANE_EXECUTE);
+            let mut exec_span = sink.span(execute_meta(seeded.kind()), key);
+            // The serial path has no queue, so its queue wait is identically zero.
+            exec_span.counter("queue_wait_us", 0);
             let busy = Instant::now(); // lint:allow(timing, host wall-clock telemetry; results never read it)
-            let result = session.execute(&seeded);
+            let result = session.execute_at(seq, &seeded);
             stats.busy_seconds += busy.elapsed().as_secs_f64();
+            drop(exec_span);
             match result {
                 Ok(response) => {
                     stats.served = stats.served.saturating_add(1);
@@ -166,24 +224,30 @@ pub(super) fn run_serial(session: &Session<'_>, start_seq: u64, queries: &[Query
         .collect();
     stats.batches = queries.len() as u64;
     let wall_seconds = started.elapsed().as_secs_f64();
-    finish_report(outcomes, vec![stats], wall_seconds)
+    let waits = vec![0.0; outcomes.len()];
+    finish_report(outcomes, waits, vec![stats], wall_seconds)
 }
 
-/// Folds per-query outcomes and per-worker counters into a [`ServeReport`].
+/// Folds per-query outcomes, queue waits and per-worker counters into a
+/// [`ServeReport`]. `waits[i]` is query `i`'s submission-to-execution wait; only
+/// served queries feed the queue-wait histograms (mirroring service latency).
 fn finish_report(
     outcomes: Vec<QueryOutcome>,
+    waits: Vec<f64>,
     workers: Vec<WorkerStats>,
     wall_seconds: f64,
 ) -> ServeReport {
     let mut latency = LatencyStats::default();
+    let mut queue_wait = LatencyStats::default();
     let (mut served, mut rejected, mut failed) = (0u64, 0u64, 0u64);
     let mut query_seconds = 0.0;
-    for outcome in &outcomes {
+    for (outcome, &wait) in outcomes.iter().zip(&waits) {
         match outcome {
             QueryOutcome::Served(response) => {
                 served = served.saturating_add(1);
                 query_seconds += response.cost.host_seconds;
                 latency.record(response.kind(), response.cost.host_seconds);
+                queue_wait.record(response.kind(), wait);
             }
             QueryOutcome::Rejected => rejected = rejected.saturating_add(1),
             QueryOutcome::Failed(_) => failed = failed.saturating_add(1),
@@ -197,6 +261,7 @@ fn finish_report(
         wall_seconds,
         query_seconds,
         latency,
+        queue_wait,
         workers,
     }
 }

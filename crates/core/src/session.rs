@@ -54,21 +54,28 @@ use std::time::Instant;
 
 use frogwild_engine::{ClusterConfig, PartitionedGraph, Partitioner, PartitionerKind};
 use frogwild_graph::{DiGraph, VertexId};
+use frogwild_obs::{span_meta, SpanKey, TraceConfig, Tracer};
 
 use crate::autotune::{auto_topk_on, AutoTuneConfig};
 use crate::config::{
     in_open_unit_interval, ExecutionConfig, FrogWildConfig, PageRankConfig, Scheduling,
 };
-use crate::driver::{run_frogwild_with, run_graphlab_pr_with, RunReport};
+use crate::driver::{run_frogwild_traced, run_graphlab_pr_traced, RunReport};
 use crate::error::{Error, Result};
 use crate::ppr::{
     forward_push_ppr, monte_carlo_ppr_counted, personalized_pagerank, single_source_restart,
 };
 use crate::serve::{LatencyStats, QueryKind, ServeConfig, ServeHandle, ServeReport};
 use crate::walkindex::{
-    build_walk_index, indexed_pagerank, indexed_ppr, IndexServeStats, WalkIndex,
+    build_walk_index_traced, indexed_pagerank, indexed_ppr, IndexServeStats, WalkIndex,
     WalkIndexBuildReport, WalkIndexConfig,
 };
+
+/// [`SpanKey::lane`] of the per-query index-serving span. Engine spans use lanes
+/// 0–6 within their own `(superstep, machine, batch)` keyspace; the serve layer
+/// keys by query sequence id and uses lanes from 8 up so the two instrumented
+/// layers never hand the same key to two different sinks.
+const LANE_INDEX: u16 = 8;
 
 /// Builder for a [`Session`]. Obtain one via [`Session::builder`].
 ///
@@ -83,6 +90,7 @@ pub struct SessionBuilder<'g> {
     execution: ExecutionConfig,
     serve: ServeConfig,
     walk_index: Option<WalkIndexConfig>,
+    tracing: TraceConfig,
 }
 
 impl<'g> SessionBuilder<'g> {
@@ -157,6 +165,17 @@ impl<'g> SessionBuilder<'g> {
         self
     }
 
+    /// Structured tracing for everything the session runs: the engine superstep
+    /// loop, walk-index build and serving, and the concurrent front-end all record
+    /// spans into one [`Tracer`] (read it back via [`Session::tracer`], export via
+    /// [`crate::obs::Timeline`]). The default is [`TraceConfig::disabled`], which
+    /// allocates no buffers and reads no clock. Tracing never changes query
+    /// results — responses are bit-identical with tracing on or off.
+    pub fn tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
     /// Validates the builder and partitions the graph — the one expensive step of the
     /// session's lifetime. Every subsequent [`Session::query`] reuses the layout.
     ///
@@ -188,13 +207,14 @@ impl<'g> SessionBuilder<'g> {
         self.execution.validate()?;
         self.serve.validate()?;
         let cluster = ClusterConfig::new(self.machines, self.seed);
+        let tracer = Tracer::new(self.tracing);
         let started = Instant::now(); // lint:allow(timing, host-seconds telemetry only; excluded from determinism)
         let pg = PartitionedGraph::build(self.graph, self.machines, &self.partitioner, self.seed);
         let partition_seconds = started.elapsed().as_secs_f64();
         let replication_factor = pg.placement().replication_factor();
         let index = match self.walk_index {
             Some(config) => {
-                let (index, report) = build_walk_index(self.graph, &pg, &config)?;
+                let (index, report) = build_walk_index_traced(self.graph, &pg, &config, &tracer)?;
                 Some(SessionIndex {
                     index,
                     report,
@@ -212,6 +232,7 @@ impl<'g> SessionBuilder<'g> {
             execution: self.execution,
             serve_config: self.serve,
             index,
+            tracer,
             stats: SessionStats {
                 queries_served: 0,
                 queries_rejected: 0,
@@ -831,6 +852,7 @@ pub struct Session<'g> {
     execution: ExecutionConfig,
     serve_config: ServeConfig,
     index: Option<SessionIndex>,
+    tracer: Tracer,
     stats: SessionStats,
 }
 
@@ -845,6 +867,7 @@ impl<'g> Session<'g> {
             execution: ExecutionConfig::default(),
             serve: ServeConfig::default(),
             walk_index: None,
+            tracing: TraceConfig::disabled(),
         }
     }
 
@@ -860,7 +883,7 @@ impl<'g> Session<'g> {
     /// * [`Error::Query`] when the query itself is malformed (zero `k`, source vertex
     ///   out of range).
     pub fn query(&mut self, query: &Query) -> Result<Response> {
-        let response = self.execute(query)?;
+        let response = self.execute_at(self.stats.queries_served, query)?;
         self.record_response(&response);
         // A serial query occupies the caller for exactly its service time, so wall
         // time and summed host time advance together on this path.
@@ -894,7 +917,10 @@ impl<'g> Session<'g> {
     /// cumulative stats — the `&self` serving core that both [`Session::query`] and
     /// the concurrent front-end's workers run on (every field it reads is immutable
     /// after `build()`, which is what makes the session shareable across a pool).
-    pub(crate) fn execute(&self, query: &Query) -> Result<Response> {
+    ///
+    /// `seq` is the query's sequence id, used only to key this query's trace spans
+    /// deterministically — it never influences the answer.
+    pub(crate) fn execute_at(&self, seq: u64, query: &Query) -> Result<Response> {
         if query.k() == 0 {
             return Err(Error::query("k must be positive"));
         }
@@ -902,7 +928,14 @@ impl<'g> Session<'g> {
         let response = match query {
             Query::TopK { k, config } => match &self.index {
                 Some(si) => {
+                    let sink = self.tracer.sink();
+                    let mut index_span = sink.span(
+                        span_meta!("index_topk"),
+                        SpanKey::new(seq, 0, 0, LANE_INDEX),
+                    );
                     let served = indexed_pagerank(self.graph, &si.index, config)?;
+                    record_index_counters(&mut index_span, &served.stats);
+                    drop(index_span);
                     let algorithm = format!(
                         "FrogWild walk-index iters={} walkers={}",
                         config.iterations, config.num_walkers
@@ -910,12 +943,14 @@ impl<'g> Session<'g> {
                     self.indexed_response(algorithm, served, *k, ResponseDetail::TopK, started)
                 }
                 None => {
-                    let report = run_frogwild_with(&self.pg, config, &self.execution)?;
+                    let report =
+                        run_frogwild_traced(&self.pg, config, &self.execution, &self.tracer)?;
                     self.engine_response(report, *k, ResponseDetail::TopK, started)
                 }
             },
             Query::Pagerank { k, config } => {
-                let report = run_graphlab_pr_with(&self.pg, config, &self.execution)?;
+                let report =
+                    run_graphlab_pr_traced(&self.pg, config, &self.execution, &self.tracer)?;
                 self.engine_response(report, *k, ResponseDetail::Pagerank, started)
             }
             Query::Ppr {
@@ -923,7 +958,7 @@ impl<'g> Session<'g> {
                 k,
                 teleport_probability,
                 method,
-            } => self.ppr_response(*source, *k, *teleport_probability, *method, started)?,
+            } => self.ppr_response(seq, *source, *k, *teleport_probability, *method, started)?,
             Query::AutotunedTopK { config } => {
                 let report = auto_topk_on(&self.pg, config)?;
                 let detail = ResponseDetail::AutotunedTopK {
@@ -1052,6 +1087,7 @@ impl<'g> Session<'g> {
 
     fn ppr_response(
         &self,
+        seq: u64,
         source: VertexId,
         k: usize,
         teleport_probability: f64,
@@ -1077,7 +1113,12 @@ impl<'g> Session<'g> {
                 },
                 _ => si.config,
             };
+            let sink = self.tracer.sink();
+            let mut index_span =
+                sink.span(span_meta!("index_ppr"), SpanKey::new(seq, 0, 0, LANE_INDEX));
             let served = indexed_ppr(self.graph, &si.index, &config, source, teleport_probability)?;
+            record_index_counters(&mut index_span, &served.stats);
+            drop(index_span);
             let detail = ResponseDetail::Ppr {
                 pushes: served.stats.pushes,
                 iterations: 0,
@@ -1171,6 +1212,25 @@ impl<'g> Session<'g> {
     pub fn stats(&self) -> &SessionStats {
         &self.stats
     }
+
+    /// The session's [`Tracer`] — disabled unless [`SessionBuilder::tracing`]
+    /// enabled it. Call [`Tracer::finish`] to drain everything recorded so far into
+    /// a merged [`crate::obs::Timeline`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+/// Attaches the index-serving economics of one query to its trace span.
+fn record_index_counters(span: &mut frogwild_obs::SpanGuard<'_>, stats: &IndexServeStats) {
+    span.counter("pushes", stats.pushes as u64);
+    span.counter("frontier", stats.frontier_vertices);
+    span.counter("stitched_walks", stats.stitched_walks);
+    span.counter("segment_hits", stats.segment_hits);
+    span.counter("segment_misses", stats.segment_misses);
+    // Every miss resamples exactly one fresh hop.
+    span.counter("resamples", stats.segment_misses);
+    span.counter("walk_hops", stats.walk_hops);
 }
 
 /// Answers a [`Query::Ppr`] directly over an unpartitioned graph.

@@ -11,8 +11,9 @@
 
 use std::time::Instant;
 
-use frogwild_engine::{generate_walk_segments, ObliviousPartitioner, PartitionedGraph};
+use frogwild_engine::{generate_walk_segments_traced, ObliviousPartitioner, PartitionedGraph};
 use frogwild_graph::{DiGraph, VertexId};
+use frogwild_obs::Tracer;
 
 use crate::error::{Error, Result};
 
@@ -58,6 +59,23 @@ pub fn build_walk_index(
     pg: &PartitionedGraph,
     config: &WalkIndexConfig,
 ) -> Result<(WalkIndex, WalkIndexBuildReport)> {
+    build_walk_index_traced(graph, pg, config, &Tracer::disabled())
+}
+
+/// [`build_walk_index`] with a tracing handle: each machine's segment generation is
+/// recorded as a `walk_segments` span with vertex/hop counters (see
+/// [`generate_walk_segments_traced`]). The built index is identical to the untraced
+/// build — the tracer only observes.
+///
+/// # Errors
+///
+/// The same errors as [`build_walk_index`].
+pub fn build_walk_index_traced(
+    graph: &DiGraph,
+    pg: &PartitionedGraph,
+    config: &WalkIndexConfig,
+    tracer: &Tracer,
+) -> Result<(WalkIndex, WalkIndexBuildReport)> {
     config.validate()?;
     let n = graph.num_vertices();
     if n == 0 {
@@ -75,7 +93,8 @@ pub fn build_walk_index(
     let l = config.segment_length;
 
     let started = Instant::now(); // lint:allow(timing, host-seconds telemetry only; excluded from determinism)
-    let batches = generate_walk_segments(graph, pg, r, l, config.seed, config.parallel);
+    let batches =
+        generate_walk_segments_traced(graph, pg, r, l, config.seed, config.parallel, tracer);
 
     // Flatten the per-machine batches into vertex-major CSR form. First pass: collect
     // every segment length into global (vertex, segment) order and prefix-sum it into

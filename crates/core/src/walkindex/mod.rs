@@ -50,7 +50,9 @@ mod config;
 mod serve;
 mod storage;
 
-pub use build::{build_walk_index, build_walk_index_standalone, WalkIndexBuildReport};
+pub use build::{
+    build_walk_index, build_walk_index_standalone, build_walk_index_traced, WalkIndexBuildReport,
+};
 pub use config::WalkIndexConfig;
 pub use serve::{indexed_pagerank, indexed_ppr, IndexServeStats, IndexedEstimate, TAIL_FLOOR};
 pub use storage::WalkIndex;

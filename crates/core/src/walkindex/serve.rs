@@ -77,6 +77,9 @@ pub struct IndexServeStats {
     pub segment_misses: u64,
     /// Total hops the walks covered, index-served or fresh.
     pub walk_hops: u64,
+    /// Vertices on the residual frontier the push phase left (zero for global
+    /// top-k) — how far the push grew before handing over to the walks.
+    pub frontier_vertices: u64,
 }
 
 impl IndexServeStats {
@@ -257,6 +260,7 @@ pub fn indexed_ppr(
     // Phase 2: stitch walks for the residual mixture Σ_u r(u) · π_u.
     let mut stitcher = Stitcher::new(graph, index);
     let mut stitched_walks = 0;
+    let mut frontier_vertices = 0u64;
     if residual_mass > 0.0 {
         let frontier: Vec<(VertexId, f64)> = {
             let mut acc = 0.0;
@@ -270,6 +274,7 @@ pub fn indexed_ppr(
                 })
                 .collect()
         };
+        frontier_vertices = frontier.len() as u64;
         let total = frontier.last().map(|&(_, c)| c).unwrap_or(0.0);
         let walks = ((residual_mass * config.walks_per_unit_residual as f64).ceil() as u64).max(1);
         let share = residual_mass / walks as f64;
@@ -301,6 +306,7 @@ pub fn indexed_ppr(
     stats.pushes = push.pushes;
     stats.residual_mass = residual_mass;
     stats.stitched_walks = stitched_walks;
+    stats.frontier_vertices = frontier_vertices;
     Ok(IndexedEstimate { estimate, stats })
 }
 

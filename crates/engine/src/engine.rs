@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use frogwild_graph::VertexId;
+use frogwild_obs::{span_meta, SpanKey, SpanSink, Tracer};
 
 use crate::cluster::MachineId;
 use crate::metrics::{CostModel, NetworkStats, RunMetrics, SuperstepMetrics, WorkStats};
@@ -63,6 +64,17 @@ const TAG_STALE: u64 = 0x57A1;
 /// Per-machine superstep results: the (vertex, payload) pairs a machine produced,
 /// plus the number of work operations it performed.
 type PerMachine<T> = Vec<(Vec<(VertexId, T)>, u64)>;
+
+/// Trace-timeline lanes (the `lane` component of [`SpanKey`]) for the engine's
+/// phases. Distinct lanes keep records of distinct sinks totally ordered even when
+/// they share `(superstep, machine, batch)`.
+const LANE_STEP: u16 = 0;
+const LANE_GATHER: u16 = 1;
+const LANE_APPLY: u16 = 2;
+const LANE_SYNC: u16 = 3;
+const LANE_SCATTER: u16 = 4;
+const LANE_ROUTE: u16 = 5;
+const LANE_WATERMARK: u16 = 6;
 
 /// Default number of tasks per work batch when [`EngineConfig::batch_size`] is 0.
 const DEFAULT_BATCH_SIZE: usize = 512;
@@ -107,6 +119,11 @@ pub struct EngineConfig {
     /// Delays near the superstep horizon are clamped so late messages are still
     /// delivered in the final superstep rather than lost.
     pub staleness: usize,
+    /// Structured-tracing handle. The default ([`Tracer::disabled`]) records nothing
+    /// and costs nothing; an enabled tracer records per-phase spans keyed by
+    /// `(superstep, machine, batch)` — tracing never changes results, only observes
+    /// them.
+    pub tracer: Tracer,
 }
 
 impl Default for EngineConfig {
@@ -121,6 +138,7 @@ impl Default for EngineConfig {
             workers: 0,
             batch_size: 0,
             staleness: 0,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -380,6 +398,11 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         let mut finish_times = vec![0.0f64; num_machines];
         let mut watermarks: Vec<(usize, f64)> = Vec::new();
 
+        // One sink for the serial driver loop; per-batch sinks are created inside
+        // the worker closures. Inert (no allocation, no clock reads) when tracing
+        // is disabled.
+        let loop_sink = self.config.tracer.sink();
+
         let mut superstep = 0usize;
         while superstep < self.config.max_supersteps {
             if frontier.is_empty() {
@@ -400,9 +423,13 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 frontier = Frontier::from_unsorted(vertices);
             }
 
+            let mut step_span = loop_sink.span(
+                span_meta!("superstep"),
+                SpanKey::new(superstep as u64, 0, 0, LANE_STEP),
+            );
             let start = Instant::now(); // lint:allow(timing, host-seconds telemetry only; never feeds results)
             let (mut step_metrics, routed) =
-                self.superstep(superstep, &frontier, &mut caches, &mut inboxes);
+                self.superstep(superstep, &frontier, &mut caches, &mut inboxes, &loop_sink);
             step_metrics.host_seconds = start.elapsed().as_secs_f64();
             step_metrics.staleness_lag = drained.lag;
 
@@ -449,6 +476,17 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     );
                     *finish = finish.max(gate) + own;
                     new_watermark = new_watermark.max(*finish);
+                    if loop_sink.is_enabled() {
+                        // Per-machine watermark progress: when machine `m` finishes
+                        // this superstep on the pipelined simulated clock.
+                        let finish_us = (*finish * 1e6) as u64;
+                        let own_us = (own * 1e6) as u64;
+                        loop_sink.event_with(
+                            span_meta!("watermark"),
+                            SpanKey::new(superstep as u64, m as u32 + 1, 0, LANE_WATERMARK),
+                            &[("finish_us", finish_us), ("own_us", own_us)],
+                        );
+                    }
                 }
                 let previous = watermarks.last().map(|&(_, w)| w).unwrap_or(0.0);
                 step_metrics.simulated_seconds = new_watermark - previous;
@@ -457,9 +495,29 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 watermarks.push((superstep, new_watermark));
             }
 
+            step_span.counter("frontier", step_metrics.active_vertices as u64);
+            step_span.counter("routed", step_metrics.routed_messages);
+            step_span.counter("inbox_depth", step_metrics.inbox_depth);
+            step_span.counter("staleness_lag", step_metrics.staleness_lag);
+            step_span.counter_seconds("simulated", step_metrics.simulated_seconds);
+            step_span.wall_counter_seconds("host", step_metrics.host_seconds);
+            if self.config.staleness > 0 {
+                step_span.counter_seconds(
+                    "barrier_wait_avoided",
+                    step_metrics.barrier_wait_avoided_seconds,
+                );
+            }
+            drop(step_span);
+
             metrics.supersteps.push(step_metrics);
             frontier = Frontier::default();
             superstep += 1;
+        }
+        if self.config.staleness > 0 {
+            // The straggler profile: when each machine crossed the finish line on
+            // the pipelined watermark clock (empty for synchronous runs, whose
+            // machines finish every superstep together by construction).
+            metrics.machine_finish_seconds = finish_times;
         }
 
         // Collect final states from the masters.
@@ -550,6 +608,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         frontier: &Frontier,
         caches: &mut [Vec<P::State>],
         inboxes: &mut [BTreeMap<u32, P::Message>],
+        sink: &SpanSink,
     ) -> (SuperstepMetrics, Vec<RoutedMessage<P::Message>>) {
         let num_machines = self.graph.num_machines();
         let placement = self.graph.placement();
@@ -561,8 +620,11 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
             DEFAULT_BATCH_SIZE
         };
         let active = frontier.as_slice();
+        let step = superstep as u64;
 
         // ------------------------------------------------------------------ gather --
+        let mut gather_span =
+            sink.span(span_meta!("gather"), SpanKey::new(step, 0, 0, LANE_GATHER));
         let mut accums: Vec<BTreeMap<u32, P::Accum>> =
             (0..num_machines).map(|_| BTreeMap::new()).collect();
         if self.program.gather_direction() == EdgeDirection::In {
@@ -584,15 +646,23 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
             let batches = make_batches(&counts, batch_size);
             let results: PerMachine<P::Accum> = {
                 let caches_ro: &[Vec<P::State>] = caches;
-                self.run_batched(&batches, |b| {
+                self.run_batched(&batches, |i, b| {
+                    let batch_sink = self.config.tracer.sink();
+                    let mut batch_span = batch_sink.span(
+                        span_meta!("gather_batch"),
+                        SpanKey::new(step, b.machine as u32 + 1, i as u32 + 1, LANE_GATHER),
+                    );
                     let shard = self.graph.shard(MachineId::from(b.machine));
-                    gather_machine(
+                    let result = gather_machine(
                         &self.program,
                         self.graph,
                         shard,
                         &caches_ro[b.machine],
                         &gather_tasks[b.machine][b.start..b.end],
-                    )
+                    );
+                    batch_span.counter("tasks", (b.end - b.start) as u64);
+                    batch_span.counter("edge_ops", result.1);
+                    result
                 })
             };
             let mut per_machine: PerMachine<P::Accum> =
@@ -632,7 +702,11 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
             }
         }
 
+        gather_span.counter("edge_ops", work.gather_ops);
+        drop(gather_span);
+
         // ------------------------------------------------------------------- apply --
+        let mut apply_span = sink.span(span_meta!("apply"), SpanKey::new(step, 0, 0, LANE_APPLY));
         let mut apply_tasks: Vec<Vec<ApplyTask<P>>> =
             (0..num_machines).map(|_| Vec::new()).collect();
         for &v in active {
@@ -658,15 +732,22 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
         let apply_batches = make_batches(&apply_counts, batch_size);
         let applied: Vec<Vec<(u32, P::State, f64)>> = {
             let caches_ro: &[Vec<P::State>] = caches;
-            self.run_batched(&apply_batches, |b| {
-                apply_batch(
+            self.run_batched(&apply_batches, |i, b| {
+                let batch_sink = self.config.tracer.sink();
+                let mut batch_span = batch_sink.span(
+                    span_meta!("apply_batch"),
+                    SpanKey::new(step, b.machine as u32 + 1, i as u32 + 1, LANE_APPLY),
+                );
+                let result = apply_batch(
                     &self.program,
                     self.graph,
                     &caches_ro[b.machine],
                     &apply_tasks[b.machine][b.start..b.end],
                     superstep,
                     self.config.seed,
-                )
+                );
+                batch_span.counter("tasks", (b.end - b.start) as u64);
+                result
             })
         };
         // Serial commit: write fresh states, record each vertex's delta in apply-task
@@ -683,8 +764,11 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
             work.apply_ops += ops as u64;
             work.ops_per_machine[machine] += ops as u64;
         }
+        apply_span.counter("tasks", active.len() as u64);
+        drop(apply_span);
 
         // ----------------------------------------------------- sync decision (central) --
+        let mut sync_span = sink.span(span_meta!("sync"), SpanKey::new(step, 0, 0, LANE_SYNC));
         let ps = self.config.sync_policy.probability();
         let tolerance = self.config.tolerance;
         let mut sync_receives: Vec<Vec<SyncReceive<P::State>>> =
@@ -836,13 +920,27 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                 caches[machine][recv.local as usize] = recv.state;
             }
         }
+        sync_span.counter("sync_ops", work.sync_ops);
+        sync_span.counter("skipped_syncs", work.skipped_syncs);
+        sync_span.counter("skipped_scatters", work.skipped_scatters);
+        drop(sync_span);
+
+        let mut scatter_span = sink.span(
+            span_meta!("scatter"),
+            SpanKey::new(step, 0, 0, LANE_SCATTER),
+        );
         let scatter_counts: Vec<usize> = scatter_tasks.iter().map(Vec::len).collect();
         let scatter_batches = make_batches(&scatter_counts, batch_size);
         let batch_results: PerMachine<P::Message> = {
             let caches_ro: &[Vec<P::State>] = caches;
-            self.run_batched(&scatter_batches, |b| {
+            self.run_batched(&scatter_batches, |i, b| {
+                let batch_sink = self.config.tracer.sink();
+                let mut batch_span = batch_sink.span(
+                    span_meta!("scatter_batch"),
+                    SpanKey::new(step, b.machine as u32 + 1, i as u32 + 1, LANE_SCATTER),
+                );
                 let shard = self.graph.shard(MachineId::from(b.machine));
-                scatter_batch(
+                let result = scatter_batch(
                     &self.program,
                     self.graph,
                     shard,
@@ -851,7 +949,10 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                     superstep,
                     self.config.seed,
                     ps,
-                )
+                );
+                batch_span.counter("tasks", (b.end - b.start) as u64);
+                batch_span.counter("edge_ops", result.1);
+                result
             })
         };
         let mut scatter_results: PerMachine<P::Message> =
@@ -861,7 +962,14 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
             scatter_results[b.machine].1 += ops;
         }
 
+        scatter_span.counter(
+            "tasks",
+            scatter_counts.iter().map(|&c| c as u64).sum::<u64>(),
+        );
+        drop(scatter_span);
+
         // ----------------------------------------------------------- route messages --
+        let mut route_span = sink.span(span_meta!("route"), SpanKey::new(step, 0, 0, LANE_ROUTE));
         let mut routed: Vec<RoutedMessage<P::Message>> = Vec::new();
         for (machine, (outbox, ops)) in scatter_results.into_iter().enumerate() {
             work.scatter_ops += ops;
@@ -902,6 +1010,9 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
             }
         }
 
+        route_span.counter("messages", routed.len() as u64);
+        drop(route_span);
+
         let simulated_seconds = self.config.cost_model.superstep_seconds(&work, &net);
         let step_metrics = SuperstepMetrics {
             superstep,
@@ -929,17 +1040,19 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
     }
 
     /// Executes `f` over every batch — serially, or on the worker pool with workers
-    /// pulling batches off a shared counter. Results come back in batch order
+    /// pulling batches off a shared counter. `f` receives the batch's canonical index
+    /// (its position in `batches` — the deterministic identity trace spans key on,
+    /// never the OS thread) alongside the range. Results come back in batch order
     /// regardless of which worker ran what, so scheduling never changes observable
     /// output.
     fn run_batched<T, F>(&self, batches: &[BatchRange], f: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(&BatchRange) -> T + Sync,
+        F: Fn(usize, &BatchRange) -> T + Sync,
     {
         let workers = self.worker_count().min(batches.len());
         if workers <= 1 {
-            return batches.iter().map(f).collect();
+            return batches.iter().enumerate().map(|(i, b)| f(i, b)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
@@ -954,7 +1067,7 @@ impl<'g, P: VertexProgram> Engine<'g, P> {
                             if i >= batches.len() {
                                 break;
                             }
-                            out.push((i, f(&batches[i])));
+                            out.push((i, f(i, &batches[i])));
                         }
                         out
                     })

@@ -271,6 +271,11 @@ pub struct RunMetrics {
     pub replication_factor: f64,
     /// Number of machines in the simulated cluster.
     pub num_machines: usize,
+    /// Per-machine finish times on the pipelined watermark clock (simulated
+    /// seconds), indexed by machine — the run's straggler profile. Empty for
+    /// synchronous runs (`staleness = 0`), where every machine finishes each
+    /// superstep together at the barrier.
+    pub machine_finish_seconds: Vec<f64>,
 }
 
 impl RunMetrics {

@@ -15,6 +15,7 @@
 //! determinism contract the engine's two executors obey.
 
 use frogwild_graph::{DiGraph, VertexId};
+use frogwild_obs::{span_meta, SpanKey, Tracer};
 use rand::Rng;
 
 use crate::cluster::MachineId;
@@ -62,7 +63,36 @@ pub fn generate_walk_segments(
     seed: u64,
     parallel: bool,
 ) -> Vec<MachineSegments> {
+    generate_walk_segments_traced(
+        graph,
+        pg,
+        segments_per_vertex,
+        segment_length,
+        seed,
+        parallel,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`generate_walk_segments`] with a tracing handle: each machine's segment
+/// generation is recorded as a `walk_segments` span keyed `(0, machine, 0)`,
+/// carrying vertex and hop counters. Output is identical to the untraced build —
+/// the tracer only observes.
+pub fn generate_walk_segments_traced(
+    graph: &DiGraph,
+    pg: &PartitionedGraph,
+    segments_per_vertex: usize,
+    segment_length: usize,
+    seed: u64,
+    parallel: bool,
+    tracer: &Tracer,
+) -> Vec<MachineSegments> {
     let generate_for = |machine: usize| -> MachineSegments {
+        let sink = tracer.sink();
+        let mut span = sink.span(
+            span_meta!("walk_segments"),
+            SpanKey::new(0, machine as u32 + 1, 0, 0),
+        );
         let shard = pg.shard(MachineId::from(machine));
         let vertices: Vec<VertexId> = shard.masters().map(|(_, v)| v).collect();
         let mut lens = Vec::with_capacity(vertices.len() * segments_per_vertex);
@@ -85,6 +115,9 @@ pub fn generate_walk_segments(
                 lens.push((hops.len() - start) as u32);
             }
         }
+        span.counter("vertices", vertices.len() as u64);
+        span.counter("hops", hops.len() as u64);
+        drop(span);
         MachineSegments {
             machine: MachineId::from(machine),
             vertices,

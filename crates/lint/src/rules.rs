@@ -24,7 +24,14 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "timing",
         doc: "Instant::now/SystemTime/thread::current clock or thread-identity reads \
-              outside the allowlisted timing modules (serve/latency, bench, cli)",
+              outside the allowlisted timing modules (serve/latency, the obs clock \
+              shim, bench, cli)",
+    },
+    RuleInfo {
+        name: "span-guard",
+        doc: "`let _ = ...span(...)` drops the tracing SpanGuard immediately, so the \
+              span closes before the work it was meant to cover; bind it to a named \
+              variable (`let _span = ...`)",
     },
     RuleInfo {
         name: "panic",
@@ -62,9 +69,12 @@ pub fn known_rule(name: &str) -> bool {
 pub enum Scope {
     /// `crates/core` — all library rules plus the ctor rule.
     Core,
-    /// `crates/engine` / `crates/graph` — all library rules.
+    /// `crates/engine` / `crates/graph` / `crates/obs` — all library rules.
     Engine,
     Graph,
+    /// `crates/obs` — library rules; its clock shim is the one timing allowlist
+    /// entry, every other module must stay wall-clock free.
+    Obs,
     /// `crates/cli`, `crates/bench`, `crates/lint`, the root umbrella crate:
     /// binaries and dev tooling, exempt from the library rules.
     Tool,
@@ -82,6 +92,8 @@ impl Scope {
             Scope::Engine
         } else if path.starts_with("crates/graph/") {
             Scope::Graph
+        } else if path.starts_with("crates/obs/") {
+            Scope::Obs
         } else if path.starts_with("crates/cli/")
             || path.starts_with("crates/bench/")
             || path.starts_with("crates/lint/")
@@ -96,7 +108,7 @@ impl Scope {
     fn library(self) -> bool {
         matches!(
             self,
-            Scope::Core | Scope::Engine | Scope::Graph | Scope::Unknown
+            Scope::Core | Scope::Engine | Scope::Graph | Scope::Obs | Scope::Unknown
         )
     }
 
@@ -147,8 +159,10 @@ const KEYWORDS: &[&str] = &[
 const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
 
 /// Timing-rule allowlist: modules whose whole purpose is wall-clock telemetry.
+/// Exactly two entries: the serving latency histograms, and the obs crate's clock
+/// shim — the single place in the tracing stack allowed to read the host clock.
 fn timing_allowlisted(path: &str) -> bool {
-    path.ends_with("serve/latency.rs")
+    path.ends_with("serve/latency.rs") || path.ends_with("obs/src/clock.rs")
 }
 
 /// Does the `counter-arith` rule apply to this file? The accumulator surface:
@@ -194,6 +208,9 @@ pub fn analyze_file(path: &str, scope: Scope, src: &str) -> FileReport {
         panic_freedom(path, &lexed, &mut report);
         indexing(path, &lexed, &mut report);
     }
+    // A dropped-on-arrival span guard is a tracing bug in any scope, binaries
+    // and benches included — the CLI and bench harness open spans too.
+    span_guard(path, &lexed, &mut report);
     if scope.library() && is_accumulator_file(path) {
         counter_arith(path, &lexed, &mut report);
     }
@@ -353,6 +370,45 @@ fn indexing(path: &str, lexed: &LexOutput, report: &mut FileReport) {
                  the bounds invariant with lint:allow(indexing, reason)"
                     .to_string(),
             );
+        }
+    }
+}
+
+/// Flags `let _ = ...span(...)...;` — the `_` pattern drops the returned
+/// [`SpanGuard`] immediately, so the span closes before the work it was meant
+/// to cover and records (near-)zero duration. The scan walks the initializer
+/// up to the statement's top-level `;` looking for a `span` call.
+fn span_guard(path: &str, lexed: &LexOutput, report: &mut FileReport) {
+    let toks = &lexed.tokens;
+    for (i, tok) in live(lexed) {
+        if tok.kind != TokenKind::Ident
+            || tok.text != "let"
+            || toks.get(i + 1).is_none_or(|t| t.text != "_")
+            || toks.get(i + 2).is_none_or(|t| t.text != "=")
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        for t in &toks[i + 3..] {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                "span" if t.kind == TokenKind::Ident => {
+                    finding(
+                        report,
+                        "span-guard",
+                        path,
+                        tok,
+                        "`let _ = ...span(...)` drops the span guard immediately and \
+                         records an empty span; bind it to a named variable so it \
+                         covers the traced work"
+                            .to_string(),
+                    );
+                    break;
+                }
+                _ => {}
+            }
         }
     }
 }
@@ -697,6 +753,45 @@ mod tests {
     }
 
     #[test]
+    fn timing_allowlists_exactly_the_obs_clock_shim() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(findings("crates/obs/src/clock.rs", Scope::Obs, src).is_empty());
+        // Every other obs module stays under the timing rule.
+        let f = findings("crates/obs/src/sink.rs", Scope::Obs, src);
+        assert!(rules_of(&f).contains(&"timing"), "{f:?}");
+    }
+
+    #[test]
+    fn span_guard_flags_discarded_guards_in_every_scope() {
+        let src = "fn f(sink: &SpanSink) { let _ = sink.span(META, key); }";
+        for (path, scope) in [
+            ("crates/core/src/session.rs", Scope::Core),
+            ("crates/cli/src/main.rs", Scope::Tool),
+            ("crates/obs/src/lib.rs", Scope::Obs),
+        ] {
+            let f = findings(path, scope, src);
+            assert!(rules_of(&f).contains(&"span-guard"), "{path}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn span_guard_accepts_named_bindings_and_unrelated_discards() {
+        let src = "fn f(sink: &SpanSink) { let _span = sink.span(META, key); \
+                   let _ = tx.send(x); let _ = span_meta_count; }";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        assert!(!rules_of(&f).contains(&"span-guard"), "{f:?}");
+    }
+
+    #[test]
+    fn span_guard_scan_stops_at_the_statement_boundary() {
+        // The `span` call in the *next* statement must not blame the first `let _`.
+        let src = "fn f(sink: &SpanSink) { let _ = unrelated(); \
+                   let s = sink.span(META, key); }";
+        let f = findings("crates/core/src/x.rs", Scope::Core, src);
+        assert!(!rules_of(&f).contains(&"span-guard"), "{f:?}");
+    }
+
+    #[test]
     fn panic_rule_flags_methods_and_macros() {
         let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); unreachable!(); \
                    todo!(); unimplemented!(); }";
@@ -869,6 +964,7 @@ mod tests {
             Scope::Engine
         );
         assert_eq!(Scope::classify("crates/graph/src/csr.rs"), Scope::Graph);
+        assert_eq!(Scope::classify("crates/obs/src/clock.rs"), Scope::Obs);
         assert_eq!(Scope::classify("crates/cli/src/main.rs"), Scope::Tool);
         assert_eq!(Scope::classify("crates/lint/src/rules.rs"), Scope::Tool);
         assert_eq!(Scope::classify("src/lib.rs"), Scope::Tool);

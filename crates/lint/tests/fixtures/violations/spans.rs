@@ -1,0 +1,6 @@
+// Fixture: span-guard violation — the guard is dropped on arrival, so the
+// span closes before the work it was supposed to cover.
+pub fn traced(sink: &SpanSink, key: SpanKey) -> u64 {
+    let _ = sink.span(META, key);
+    expensive_work()
+}

@@ -91,6 +91,7 @@ fn fixture_tree_produces_exactly_the_expected_findings() {
         ("panic", "tests/fixtures/violations/panics.rs", 3, 25),
         ("indexing", "tests/fixtures/violations/panics.rs", 4, 15),
         ("panic", "tests/fixtures/violations/panics.rs", 6, 9),
+        ("span-guard", "tests/fixtures/violations/spans.rs", 4, 5),
     ];
     assert_eq!(got, expected, "full findings: {:#?}", report.findings);
 }
@@ -155,6 +156,7 @@ fn deny_all_fails_on_each_seeded_violation_class_and_passes_on_clean() {
         "violations/panics.rs",
         "violations/metrics.rs",
         "violations/ctor.rs",
+        "violations/spans.rs",
     ] {
         let out = lint_cmd()
             .arg("--deny-all")
@@ -240,6 +242,7 @@ fn list_rules_names_every_rule() {
     for rule in [
         "hash-container",
         "timing",
+        "span-guard",
         "panic",
         "indexing",
         "counter-arith",

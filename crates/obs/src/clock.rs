@@ -1,0 +1,53 @@
+//! The workspace's **single** allowlisted wall-clock shim.
+//!
+//! Every host-time read the tracing subsystem performs goes through [`Epoch`]; no
+//! other library module in the workspace may touch `std::time::Instant` (the
+//! `frogwild-lint` `timing` rule enforces this, with exactly this file and the
+//! serving latency module on its allowlist). Keeping the reads in one place is what
+//! lets [`ClockMode::Logical`](crate::ClockMode) guarantee *zero* clock reads: a
+//! logical epoch is created unarmed and never samples the clock.
+
+use std::time::Instant;
+
+/// The tracer's time origin. Armed epochs (host clock) sample `Instant` once at
+/// creation and report microseconds since then; unarmed epochs (logical clock,
+/// disabled tracer) never read the clock at all.
+pub(crate) struct Epoch {
+    origin: Option<Instant>,
+}
+
+impl Epoch {
+    /// A new epoch; samples the host clock only when `armed`.
+    pub(crate) fn start(armed: bool) -> Self {
+        Epoch {
+            origin: if armed { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Microseconds elapsed since the epoch was created (`0` for unarmed epochs).
+    pub(crate) fn micros(&self) -> u64 {
+        match self.origin {
+            Some(origin) => origin.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_epoch_reports_zero() {
+        let epoch = Epoch::start(false);
+        assert_eq!(epoch.micros(), 0);
+    }
+
+    #[test]
+    fn armed_epoch_is_monotonic() {
+        let epoch = Epoch::start(true);
+        let a = epoch.micros();
+        let b = epoch.micros();
+        assert!(b >= a);
+    }
+}

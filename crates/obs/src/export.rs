@@ -1,0 +1,422 @@
+//! Exporters ([`Timeline::to_chrome_json`], [`Timeline::to_csv`]) and the minimal
+//! in-repo Chrome trace-event JSON validity check ([`validate_chrome_json`]).
+
+use std::fmt::Write as _;
+
+use crate::timeline::{Timeline, TimelineEntry};
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_chrome_event(out: &mut String, entry: &TimelineEntry) {
+    out.push_str("{\"name\":");
+    push_json_string(out, entry.name);
+    out.push_str(",\"cat\":");
+    push_json_string(out, entry.target);
+    let ph = if entry.is_instant() { "i" } else { "X" };
+    let _ = write!(
+        out,
+        ",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        entry.start_us, entry.key.pid, entry.key.tid
+    );
+    if !entry.is_instant() {
+        let _ = write!(out, ",\"dur\":{}", entry.dur_us);
+    } else {
+        // Instant scope: thread-scoped, so Perfetto draws it on its lane.
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"args\":{{\"seq\":{}", entry.key.seq);
+    for (name, value) in &entry.counters {
+        out.push(',');
+        push_json_string(out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("}}");
+}
+
+impl Timeline {
+    /// Renders the timeline as Chrome trace-event JSON — load the file in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>. Entries are emitted in the
+    /// deterministic timeline order; under a logical clock the output is
+    /// byte-stable across runs.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.entries().len() * 96 + 32);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, entry) in self.entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            push_chrome_event(&mut out, entry);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders the timeline as flat CSV: one row per record, counters packed into
+    /// the final column as `name=value` pairs separated by `;`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.entries().len() * 64 + 64);
+        out.push_str("seq,pid,tid,lane,ordinal,kind,name,target,start_us,dur_us,counters\n");
+        for entry in self.entries() {
+            let kind = if entry.is_instant() {
+                "instant"
+            } else {
+                "span"
+            };
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{kind},{},{},{},{},",
+                entry.key.seq,
+                entry.key.pid,
+                entry.key.tid,
+                entry.key.lane,
+                entry.ordinal,
+                entry.name,
+                entry.target,
+                entry.start_us,
+                entry.dur_us
+            );
+            for (i, (name, value)) in entry.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                let _ = write!(out, "{name}={value}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Validates that `text` is well-formed JSON shaped like a Chrome trace: one
+/// top-level object whose `"traceEvents"` member is an array of event objects, each
+/// carrying at least `"name"`, `"ph"`, `"ts"`, `"pid"` and `"tid"`.
+///
+/// Returns the number of trace events. This is the repo's own validator — CI and
+/// the golden tests use it so no external JSON tooling is needed.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found (syntax error, missing
+/// `traceEvents`, or an event missing a required member).
+pub fn validate_chrome_json(text: &str) -> Result<usize, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.at != parser.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", parser.at));
+    }
+    let Json::Object(members) = value else {
+        return Err("top level is not a JSON object".to_string());
+    };
+    let Some(events) = members
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+    else {
+        return Err("missing \"traceEvents\" member".to_string());
+    };
+    let Json::Array(events) = events else {
+        return Err("\"traceEvents\" is not an array".to_string());
+    };
+    for (i, event) in events.iter().enumerate() {
+        let Json::Object(fields) = event else {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        };
+        for required in ["name", "ph", "ts", "pid", "tid"] {
+            if !fields.iter().any(|(k, _)| k == required) {
+                return Err(format!("traceEvents[{i}] is missing \"{required}\""));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+/// A fully parsed JSON value. Objects keep insertion order in a `Vec` — no hash
+/// containers, per the workspace determinism contract.
+enum Json {
+    Null,
+    Bool,
+    Number,
+    String,
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.at += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(b) if b == byte => Ok(()),
+            got => Err(format!(
+                "expected '{}' at offset {}, got {:?}",
+                byte as char,
+                self.at.saturating_sub(1),
+                got.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        let rest = self.bytes.get(self.at..).unwrap_or(&[]);
+        if rest.starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(())
+        } else {
+            Err(format!("invalid literal at offset {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| Json::String),
+            Some(b't') => self.literal("true").map(|_| Json::Bool),
+            Some(b'f') => self.literal("false").map(|_| Json::Bool),
+            Some(b'n') => self.literal("null").map(|_| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(|_| Json::Number),
+            other => Err(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.at
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(members)),
+                got => {
+                    return Err(format!(
+                        "expected ',' or '}}' at offset {}, got {:?}",
+                        self.at.saturating_sub(1),
+                        got.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                got => {
+                    return Err(format!(
+                        "expected ',' or ']' at offset {}, got {:?}",
+                        self.at.saturating_sub(1),
+                        got.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b' | b'f') => out.push(' '),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = match self.bump() {
+                                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                                _ => return Err(format!("bad \\u escape at offset {}", self.at)),
+                            };
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(format!("bad escape at offset {}", self.at)),
+                },
+                Some(b) if b >= 0x20 => {
+                    // Re-decode multi-byte UTF-8 sequences by byte; validity of the
+                    // source &str guarantees these bytes form valid chars, and the
+                    // validator only compares ASCII keys, so raw bytes suffice.
+                    out.push(b as char);
+                }
+                _ => return Err(format!("unterminated string at offset {}", self.at)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("bad number at offset {}", self.at));
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("bad number at offset {}", self.at));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("bad number at offset {}", self.at));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span_meta, SpanKey, TraceConfig, Tracer};
+
+    fn sample() -> Timeline {
+        let tracer = Tracer::new(TraceConfig::logical());
+        {
+            let sink = tracer.sink();
+            let mut span = sink.span(span_meta!("gather"), SpanKey::new(0, 1, 2, 0));
+            span.counter("edges", 11);
+            drop(span);
+            sink.event(span_meta!("rejected"), SpanKey::new(3, 0, 0, 9));
+        }
+        tracer.finish()
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_the_validator() {
+        let json = sample().to_chrome_json();
+        assert_eq!(validate_chrome_json(&json), Ok(2));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"edges\":11"));
+    }
+
+    #[test]
+    fn empty_timeline_still_validates() {
+        let tracer = Tracer::new(TraceConfig::logical());
+        let json = tracer.finish().to_chrome_json();
+        assert_eq!(validate_chrome_json(&json), Ok(0));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_record() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("seq,pid,tid,lane"));
+        assert!(lines[1].contains("gather"));
+        assert!(lines[1].contains("edges=11"));
+        assert!(lines[2].contains("instant"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_json("").is_err());
+        assert!(validate_chrome_json("[]").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":{}}").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":[]").is_err());
+        assert!(validate_chrome_json("{\"traceEvents\":[]} trailing").is_err());
+        assert_eq!(validate_chrome_json("{\"traceEvents\":[]}"), Ok(0));
+        let ok = "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0}],\"other\":[1.5,-2e3,true,false,null,\"\\u0041\"]}";
+        assert_eq!(validate_chrome_json(ok), Ok(1));
+    }
+}
